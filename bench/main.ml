@@ -1,0 +1,157 @@
+(* Benchmark & reproduction harness.
+
+   With no arguments this regenerates every figure of the paper at the
+   quick scale, runs the ablation suite, and runs the Bechamel
+   micro-benchmarks of the partition finders (the paper's Appendix 9
+   comparison). Sub-commands restrict the run:
+
+     main.exe figs [--full]       all paper figures
+     main.exe fig <id> [--full]   one paper figure (3..10, intro)
+     main.exe ablate [<id>]       ablation suite (or one ablation)
+     main.exe micro               Bechamel micro-benchmarks only
+     main.exe all [--full]        everything (default)
+
+   CSVs are written to ./results/. *)
+
+let results_dir = "results"
+
+let ensure_results_dir () =
+  if not (Sys.file_exists results_dir) then Sys.mkdir results_dir 0o755
+
+let emit_figure fig =
+  ensure_results_dir ();
+  Format.printf "%a@." Bgl_core.Series.pp_figure fig;
+  let path = Bgl_core.Series.save_csv fig ~dir:results_dir in
+  Format.printf "  (csv: %s)@.@." path
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: the partition-finder lineage *)
+
+open Bgl_torus
+open Bgl_partition
+
+let busy_grid ~seed ~fraction =
+  let rng = Bgl_stats.Rng.create ~seed in
+  let grid = Grid.create Dims.bgl in
+  for node = 0 to Dims.volume Dims.bgl - 1 do
+    if Bgl_stats.Rng.unit_float rng < fraction then Grid.occupy_node grid node ~owner:(node mod 9)
+  done;
+  grid
+
+let finder_tests () =
+  let grids = [ ("empty", busy_grid ~seed:1 ~fraction:0.); ("half", busy_grid ~seed:1 ~fraction:0.5) ] in
+  let volumes = [ 8; 32 ] in
+  let tests =
+    List.concat_map
+      (fun (gname, grid) ->
+        List.concat_map
+          (fun volume ->
+            List.map
+              (fun algo ->
+                Bechamel.Test.make
+                  ~name:(Printf.sprintf "find/%s/v=%d/%s" gname volume (Finder.algo_name algo))
+                  (Bechamel.Staged.stage (fun () -> ignore (Finder.find algo grid ~volume))))
+              Finder.all_algos)
+          volumes)
+      grids
+  in
+  let mfp_tests =
+    List.map
+      (fun (gname, grid) ->
+        Bechamel.Test.make
+          ~name:(Printf.sprintf "mfp/%s" gname)
+          (Bechamel.Staged.stage (fun () -> ignore (Mfp.volume grid))))
+      grids
+  in
+  let half = busy_grid ~seed:2 ~fraction:0.5 in
+  let prefix_tests =
+    [
+      Bechamel.Test.make ~name:"prefix/build"
+        (Bechamel.Staged.stage (fun () -> ignore (Prefix.build half)));
+    ]
+  in
+  Bechamel.Test.make_grouped ~name:"partition" (tests @ mfp_tests @ prefix_tests)
+
+let event_queue_tests () =
+  Bechamel.Test.make_grouped ~name:"engine"
+    [
+      Bechamel.Test.make ~name:"event-queue/push-pop-1k"
+        (Bechamel.Staged.stage (fun () ->
+             let q = Bgl_sim.Event_queue.create () in
+             for i = 0 to 999 do
+               Bgl_sim.Event_queue.push q ~time:(float_of_int ((i * 7919) mod 1000)) i
+             done;
+             while not (Bgl_sim.Event_queue.is_empty q) do
+               ignore (Bgl_sim.Event_queue.pop q)
+             done));
+    ]
+
+let run_micro () =
+  Format.printf "=== micro: partition finders (Appendix 9 lineage) and engine kernels ===@.";
+  let tests = Bechamel.Test.make_grouped ~name:"bgl" [ finder_tests (); event_queue_tests () ] in
+  let cfg = Bechamel.Benchmark.cfg ~limit:2000 ~quota:(Bechamel.Time.second 0.5) () in
+  let raw = Bechamel.Benchmark.all cfg [ Bechamel.Toolkit.Instance.monotonic_clock ] tests in
+  let ols = Bechamel.Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| "run" |] in
+  let results = Bechamel.Analyze.all ols Bechamel.Toolkit.Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name res acc ->
+        match Bechamel.Analyze.OLS.estimates res with
+        | Some (ns :: _) -> (name, ns) :: acc
+        | Some [] | None -> acc)
+      results []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  List.iter (fun (name, ns) -> Format.printf "%-44s %12.1f ns/run@." name ns) rows;
+  Format.printf "@."
+
+(* ------------------------------------------------------------------ *)
+
+let scale_of_args args =
+  if List.mem "--full" args then Bgl_core.Figures.full else Bgl_core.Figures.quick
+
+let run_figs scale =
+  Format.printf "=== paper figures (%d jobs/run, %d seeds) ===@.@." scale.Bgl_core.Figures.n_jobs
+    (List.length scale.Bgl_core.Figures.seeds);
+  List.iter (fun (_, f) -> List.iter emit_figure (f scale)) Bgl_core.Figures.producers
+
+let run_one_fig scale id =
+  match Bgl_core.Figures.by_id id with
+  | Some f -> List.iter emit_figure (f scale)
+  | None ->
+      Format.eprintf "unknown figure %S (try 3..10 or intro)@." id;
+      exit 1
+
+let run_baseline scale = List.iter emit_figure (Bgl_core.Baseline.all scale)
+
+let run_ablations scale = function
+  | None -> List.iter emit_figure (Bgl_core.Ablations.all scale)
+  | Some id -> (
+      match Bgl_core.Ablations.by_id id with
+      | Some f -> emit_figure (f scale)
+      | None ->
+          Format.eprintf "unknown ablation %S@." id;
+          exit 1)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let t0 = Unix.gettimeofday () in
+  let positional =
+    List.filter (fun a -> not (String.length a >= 2 && String.sub a 0 2 = "--")) args
+  in
+  (match positional with
+  | [] | [ "all" ] ->
+      run_micro ();
+      run_figs (scale_of_args args);
+      run_baseline (scale_of_args args);
+      run_ablations (scale_of_args args) None
+  | [ "micro" ] -> run_micro ()
+  | [ "figs" ] -> run_figs (scale_of_args args)
+  | [ "fig"; id ] -> run_one_fig (scale_of_args args) id
+  | [ "ablate" ] -> run_ablations (scale_of_args args) None
+  | [ "ablate"; id ] -> run_ablations (scale_of_args args) (Some id)
+  | [ "baseline" ] -> run_baseline (scale_of_args args)
+  | _ ->
+      Format.eprintf "usage: main.exe [all|micro|figs|fig <id>|ablate [<id>]|baseline] [--full]@.";
+      exit 1);
+  Format.printf "total wall time: %.1f s@." (Unix.gettimeofday () -. t0)

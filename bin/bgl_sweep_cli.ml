@@ -1,0 +1,77 @@
+(* bgl-sweep: regenerate the paper's figures or the ablation studies as
+   text tables + CSV files. A cmdliner front-end over Bgl_core.Figures
+   and Bgl_core.Ablations (bench/main.exe is the no-flags batch
+   driver). *)
+
+open Cmdliner
+
+let ids =
+  Arg.(value & pos_all string [] & info [] ~docv:"ID"
+         ~doc:"Figure ids (intro, 3..10) and/or ablation ids (combine, fpos, checkpoint, \
+               adaptive, backfill, migration, failure-model, repair, candidates). Empty = all \
+               figures.")
+
+let full = Arg.(value & flag & info [ "full" ] ~doc:"Full scale: 3000 jobs, 3 seeds.")
+
+let jobs =
+  Arg.(value & opt (some int) None & info [ "jobs" ] ~docv:"N" ~doc:"Override jobs per run.")
+
+let seeds =
+  Arg.(value & opt (some (list int)) None & info [ "seeds" ] ~docv:"S1,S2,..."
+         ~doc:"Override the seed list.")
+
+let out =
+  Arg.(value & opt string "results" & info [ "out"; "o" ] ~docv:"DIR" ~doc:"CSV output directory.")
+
+let chart = Arg.(value & flag & info [ "chart" ] ~doc:"Also print ASCII charts.")
+
+let run ids full jobs seeds out chart =
+  let scale = if full then Bgl_core.Figures.full else Bgl_core.Figures.quick in
+  let scale =
+    { scale with
+      Bgl_core.Figures.n_jobs = Option.value jobs ~default:scale.Bgl_core.Figures.n_jobs;
+      seeds = Option.value seeds ~default:scale.Bgl_core.Figures.seeds;
+    }
+  in
+  if not (Sys.file_exists out) then Sys.mkdir out 0o755;
+  let emit fig =
+    Format.printf "%a@." Bgl_core.Series.pp_figure fig;
+    if chart then Format.printf "%a@." (Bgl_core.Series.pp_chart ?height:None) fig;
+    let path = Bgl_core.Series.save_csv fig ~dir:out in
+    Format.printf "  (csv: %s)@.@." path
+  in
+  let resolve id =
+    match Bgl_core.Figures.by_id id with
+    | Some f -> Ok (`Figures f)
+    | None -> (
+        match Bgl_core.Ablations.by_id id with
+        | Some f -> Ok (`Ablation f)
+        | None -> (
+            match Bgl_core.Baseline.by_id id with
+            | Some f -> Ok (`Ablation f)
+            | None -> Error id))
+  in
+  match ids with
+  | [] ->
+      List.iter emit (Bgl_core.Figures.all scale);
+      0
+  | ids -> (
+      let resolved = List.map resolve ids in
+      match List.find_opt Result.is_error resolved with
+      | Some (Error id) ->
+          Format.eprintf "unknown id %S@." id;
+          1
+      | Some (Ok _) | None ->
+          List.iter
+            (function
+              | Ok (`Figures f) -> List.iter emit (f scale)
+              | Ok (`Ablation f) -> emit (f scale)
+              | Error _ -> ())
+            resolved;
+          0)
+
+let cmd =
+  let doc = "regenerate the paper's evaluation figures and ablations" in
+  Cmd.v (Cmd.info "bgl-sweep" ~doc) Term.(const run $ ids $ full $ jobs $ seeds $ out $ chart)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,43 @@
+(* Capacity planning: a site expects its load to grow and its machine
+   to age (more frequent failures). How much of the degradation can a
+   fault-aware scheduler absorb, and when is extra capacity needed
+   regardless?
+
+   Sweeps load c and failure intensity for fault-oblivious vs balancing
+   scheduling, the kind of question the paper's Figures 4-8 answer.
+
+     dune exec examples/capacity_planning.exe *)
+
+open Bgl_core
+
+let () =
+  let loads = [ 0.9; 1.0; 1.1; 1.2 ] in
+  let failure_levels = [ (1000, "aging: low"); (4000, "aging: high") ] in
+  let n_jobs = 800 in
+  Format.printf
+    "%-14s %-12s %-18s %10s %10s %8s@." "load c" "failures" "scheduler" "slowdown" "wait(h)"
+    "util";
+  List.iter
+    (fun load ->
+      List.iter
+        (fun (failures, flabel) ->
+          List.iter
+            (fun (alabel, algo) ->
+              let scenario =
+                Scenario.make ~n_jobs ~load ~failures_paper:failures
+                  ~profile:Bgl_workload.Profile.sdsc algo
+              in
+              let report = (Scenario.run scenario).report in
+              Format.printf "%-14g %-12s %-18s %10.1f %10.2f %8.3f@." load flabel alabel
+                report.avg_bounded_slowdown
+                (report.avg_wait /. 3600.)
+                report.util)
+            [
+              ("fault-oblivious", Scenario.Fault_oblivious);
+              ("balancing a=0.5", Scenario.Balancing { confidence = 0.5 });
+            ])
+        failure_levels)
+    loads;
+  Format.printf
+    "@.Reading: if slowdown under 'balancing' still exceeds the site's target at the planned \
+     load, prediction alone cannot absorb the growth - provision capacity.@."

@@ -1,0 +1,75 @@
+let profiles =
+  [ (0., Bgl_workload.Profile.nasa); (1., Bgl_workload.Profile.sdsc); (2., Bgl_workload.Profile.llnl) ]
+
+let variants =
+  [
+    ("fcfs", fun (c : Bgl_sim.Config.t) -> { c with backfill = false; migration = false });
+    ("+backfill", fun c -> { c with backfill = true; migration = false });
+    ( "+migration",
+      fun c -> { c with backfill = true; migration = true; migration_overhead = 60. } );
+  ]
+
+let avg = Ablations.avg
+
+let point (scale : Figures.scale) ~profile ~failures ~variant metric =
+  let config = variant Bgl_sim.Config.default in
+  let mk ~seed =
+    Scenario.make ~n_jobs:scale.n_jobs ~failures_paper:failures ~seed ~config ~profile
+      Scenario.Fault_oblivious
+  in
+  avg scale mk metric
+
+let sweep scale ~failures metric =
+  List.map
+    (fun (label, variant) ->
+      Series.series ~label
+        (List.map (fun (x, profile) -> (x, point scale ~profile ~failures ~variant metric)) profiles))
+    variants
+
+let profile_note = "x axis: 0=NASA, 1=SDSC, 2=LLNL"
+
+let slowdown scale =
+  Series.figure ~id:"baseline-slowdown"
+    ~title:"Krevat baseline: FCFS vs backfilling vs migration (failure-free)" ~xlabel:"workload"
+    ~ylabel:"avg bounded slowdown"
+    ~notes:[ profile_note ]
+    (sweep scale ~failures:0 (fun r -> r.Bgl_sim.Metrics.avg_bounded_slowdown))
+
+let utilisation scale =
+  Series.figure ~id:"baseline-util"
+    ~title:"Krevat baseline: utilised capacity (failure-free)" ~xlabel:"workload"
+    ~ylabel:"utilised fraction"
+    ~notes:[ profile_note ]
+    (sweep scale ~failures:0 (fun r -> r.Bgl_sim.Metrics.util))
+
+let under_failures scale =
+  let sdsc = Bgl_workload.Profile.sdsc in
+  Series.figure ~id:"baseline-failures"
+    ~title:"Krevat baseline under failures (SDSC, paper failure count)" ~xlabel:"variant"
+    ~ylabel:"metric"
+    ~notes:[ "x axis: 0=fcfs, 1=+backfill, 2=+migration" ]
+    [
+      Series.series ~label:"avg slowdown"
+        (List.mapi
+           (fun i (_, variant) ->
+             ( float_of_int i,
+               point scale ~profile:sdsc ~failures:sdsc.paper_failures ~variant (fun r ->
+                   r.Bgl_sim.Metrics.avg_bounded_slowdown) ))
+           variants);
+      Series.series ~label:"utilization"
+        (List.mapi
+           (fun i (_, variant) ->
+             ( float_of_int i,
+               point scale ~profile:sdsc ~failures:sdsc.paper_failures ~variant (fun r ->
+                   r.Bgl_sim.Metrics.util) ))
+           variants);
+    ]
+
+let by_id id =
+  match String.lowercase_ascii (String.trim id) with
+  | "baseline-slowdown" -> Some slowdown
+  | "baseline-util" -> Some utilisation
+  | "baseline-failures" -> Some under_failures
+  | _ -> None
+
+let all scale = [ slowdown scale; utilisation scale; under_failures scale ]

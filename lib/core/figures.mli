@@ -1,0 +1,64 @@
+(** Reproduction of every data figure in the paper's evaluation
+    (Section 7). Each function regenerates one plot as a
+    {!Series.figure}; {!all} runs the full set. Sub-plots (a)/(b)/(c)
+    of a paper figure are emitted as separate figures with suffixed
+    ids.
+
+    X axes use the paper's units: failure counts on the paper's scale
+    (converted internally to preserve failures-per-job, see
+    {!Scenario}), prediction confidence/accuracy in [0, 1], and the
+    load coefficients c = 1.0 / 1.2. *)
+
+type scale = {
+  n_jobs : int;  (** synthetic jobs per simulation *)
+  seeds : int list;  (** replications averaged per point *)
+  a_values : float list;  (** confidence/accuracy grid *)
+  fail_fracs : float list;  (** fractions of the per-log max failure count *)
+}
+
+val quick : scale
+(** 1200 jobs, one seed: minutes for the full set. The default for
+    [bench/main.exe]. *)
+
+val full : scale
+(** 3000 jobs, three seeds, the paper's full 0.1-step grids. *)
+
+val intro_claim : scale -> Series.figure
+(** Section 1's motivating number: slowdown increase of a
+    fault-oblivious scheduler at the 1000-failure rate (paper: ≈70%). *)
+
+val fig3 : scale -> Series.figure
+
+val fig4 : scale -> Series.figure
+
+val fig5 : scale -> Series.figure list
+(** (a) c=1.0, (b) c=1.2 *)
+
+val fig6 : scale -> Series.figure list
+(** (a) SDSC, (b) NASA, (c) LLNL *)
+
+val fig7 : scale -> Series.figure list
+
+val fig8 : scale -> Series.figure list
+
+val fig9 : scale -> Series.figure list
+
+val fig10 : scale -> Series.figure list
+
+val by_id : string -> (scale -> Series.figure list) option
+(** Lookup by ["3"], ["fig3"], ["intro"], ... *)
+
+val all : scale -> Series.figure list
+(** Every figure, in paper order. *)
+
+val producers : (string * (scale -> Series.figure list)) list
+(** The figures as named thunks, in paper order — lets drivers render
+    each figure as soon as it is computed. *)
+
+val cached_report : Scenario.t -> Bgl_sim.Metrics.report
+(** Run a scenario through the shared memo table (used by the ablation
+    suite so overlapping sweep points are simulated once). *)
+
+val clear_cache : unit -> unit
+(** Figures share scenario runs through a memo table; clear it to force
+    re-simulation (e.g. between scales in one process). *)

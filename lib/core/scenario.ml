@@ -1,0 +1,120 @@
+type algo =
+  | First_fit
+  | Random_fit
+  | Fault_oblivious
+  | Balancing of { confidence : float }
+  | Tie_breaking of { accuracy : float }
+  | Safest
+  | Balancing_history of { half_life : float; threshold : float }
+  | Tie_breaking_history of { half_life : float; threshold : float }
+
+type t = {
+  profile : Bgl_workload.Profile.t;
+  n_jobs : int;
+  load : float;
+  failures_paper : int;
+  algo : algo;
+  seed : int;
+  config : Bgl_sim.Config.t;
+  combine : [ `Product | `Max ];
+  false_positive : float;
+  failure_amplification : float;
+  failure_spec_of : (span:float -> volume:int -> n_events:int -> seed:int -> Bgl_failure.Generator.spec);
+  variant_tag : string;
+}
+
+let make ?(n_jobs = 2000) ?(load = 1.0) ?failures_paper ?(seed = 11)
+    ?(config = Bgl_sim.Config.default) ?(combine = `Product) ?(false_positive = 0.)
+    ?(failure_amplification = 2.0) ~(profile : Bgl_workload.Profile.t) algo =
+  {
+    profile;
+    n_jobs;
+    load;
+    failures_paper = Option.value failures_paper ~default:profile.paper_failures;
+    algo;
+    seed;
+    config;
+    combine;
+    false_positive;
+    failure_amplification;
+    failure_spec_of = Bgl_failure.Generator.default;
+    variant_tag = "";
+  }
+
+let injected_failures t =
+  let ratio = float_of_int t.n_jobs /. float_of_int t.profile.source_jobs in
+  int_of_float
+    (Float.round (float_of_int t.failures_paper *. ratio *. t.failure_amplification))
+
+let algo_label = function
+  | First_fit -> "first-fit"
+  | Random_fit -> "random-fit"
+  | Fault_oblivious -> "fault-oblivious"
+  | Balancing { confidence } -> Printf.sprintf "balancing(a=%g)" confidence
+  | Tie_breaking { accuracy } -> Printf.sprintf "tie-breaking(a=%g)" accuracy
+  | Safest -> "safest"
+  | Balancing_history { half_life; threshold } ->
+      Printf.sprintf "balancing-history(hl=%g,th=%g)" half_life threshold
+  | Tie_breaking_history { half_life; threshold } ->
+      Printf.sprintf "tie-breaking-history(hl=%g,th=%g)" half_life threshold
+
+let label t =
+  let combine = match t.combine with `Product -> "prod" | `Max -> "max" in
+  (* The config is plain data, so a structural digest distinguishes
+     scenarios that differ only in engine settings. *)
+  let config_digest = Digest.to_hex (Digest.string (Marshal.to_string t.config [])) in
+  Printf.sprintf "%s c=%g f=%d(x%g) %s seed=%d n=%d comb=%s fp=%g cfg=%s%s" t.profile.name
+    t.load t.failures_paper t.failure_amplification (algo_label t.algo) t.seed t.n_jobs combine
+    t.false_positive
+    (String.sub config_digest 0 8)
+    (if t.variant_tag = "" then "" else " tag=" ^ t.variant_tag)
+
+let run t =
+  let volume = Bgl_torus.Dims.volume t.config.dims in
+  let log =
+    Bgl_workload.Synthetic.generate
+      { profile = t.profile; n_jobs = t.n_jobs; max_nodes = volume; seed = t.seed }
+  in
+  let log = Bgl_trace.Job_log.scale_runtime log ~c:t.load in
+  let n_events = injected_failures t in
+  let failures =
+    if n_events = 0 then Bgl_trace.Failure_log.make ~name:"no-failures" []
+    else
+      (* Cover the whole simulated makespan, which can overrun the log
+         span under load: failures keep arriving while the backlog
+         drains. *)
+      let span = Bgl_trace.Job_log.span log *. 1.5 in
+      Bgl_failure.Generator.generate
+        (t.failure_spec_of ~span ~volume ~n_events ~seed:(t.seed lxor 0x5DEECE))
+  in
+  let index = Bgl_predict.Failure_index.of_log failures in
+  let predictor_seed = t.seed lxor 0x2545F in
+  let policy =
+    match t.algo with
+    | First_fit -> Bgl_sched.Placement.first_fit
+    | Random_fit -> Bgl_sched.Placement.random ~seed:predictor_seed
+    | Fault_oblivious -> Bgl_sched.Placement.mfp
+    | Safest ->
+        Bgl_sched.Placement.safest ~predictor:(Bgl_predict.Predictor.oracle index) ()
+    | Balancing_history { half_life; threshold } ->
+        Bgl_sched.Placement.balancing ~combine:t.combine
+          ~predictor:(Bgl_predict.History.ewma ~half_life ~threshold index)
+          ()
+    | Tie_breaking_history { half_life; threshold } ->
+        Bgl_sched.Placement.tie_breaking
+          ~predictor:(Bgl_predict.History.ewma ~half_life ~threshold index)
+          ()
+    | Balancing { confidence } ->
+        Bgl_sched.Placement.balancing ~combine:t.combine
+          ~predictor:(Bgl_predict.Predictor.balancing ~confidence index)
+          ()
+    | Tie_breaking { accuracy } ->
+        let predictor =
+          if t.false_positive > 0. then
+            Bgl_predict.Predictor.noisy ~accuracy ~false_positive:t.false_positive
+              ~seed:predictor_seed index
+          else Bgl_predict.Predictor.tie_breaking ~accuracy ~seed:predictor_seed index
+        in
+        Bgl_sched.Placement.tie_breaking ~predictor ()
+  in
+  Bgl_sim.Engine.run ~config:t.config ~policy ~log ~failures ()

@@ -1,0 +1,96 @@
+type series = { label : string; points : (float * float) list }
+
+type figure = {
+  id : string;
+  title : string;
+  xlabel : string;
+  ylabel : string;
+  series : series list;
+  notes : string list;
+}
+
+let series ~label points = { label; points }
+
+let figure ~id ~title ~xlabel ~ylabel ?(notes = []) series =
+  { id; title; xlabel; ylabel; series; notes }
+
+let xs fig =
+  List.concat_map (fun s -> List.map fst s.points) fig.series
+  |> List.sort_uniq compare
+
+let value_at s x = List.assoc_opt x s.points
+
+let pp_figure ppf fig =
+  Format.fprintf ppf "=== %s: %s ===@." fig.id fig.title;
+  List.iter (fun n -> Format.fprintf ppf "  note: %s@." n) fig.notes;
+  let xs = xs fig in
+  let cell = 14 in
+  let pad s = Printf.sprintf "%*s" cell s in
+  Format.fprintf ppf "%s" (pad fig.xlabel);
+  List.iter (fun s -> Format.fprintf ppf " %s" (pad s.label)) fig.series;
+  Format.fprintf ppf "@.";
+  List.iter
+    (fun x ->
+      Format.fprintf ppf "%s" (pad (Printf.sprintf "%g" x));
+      List.iter
+        (fun s ->
+          match value_at s x with
+          | Some y -> Format.fprintf ppf " %s" (pad (Printf.sprintf "%.4g" y))
+          | None -> Format.fprintf ppf " %s" (pad "-"))
+        fig.series;
+      Format.fprintf ppf "@.")
+    xs
+
+let pp_chart ?(height = 8) ppf fig =
+  let all_ys = List.concat_map (fun s -> List.map snd s.points) fig.series in
+  match all_ys with
+  | [] -> ()
+  | _ ->
+      let ymin = List.fold_left Float.min infinity all_ys in
+      let ymax = List.fold_left Float.max neg_infinity all_ys in
+      let glyphs = " _.-=oO#@" in
+      let levels = min height (String.length glyphs - 1) in
+      let glyph y =
+        if ymax <= ymin then glyphs.[levels]
+        else
+          let frac = (y -. ymin) /. (ymax -. ymin) in
+          glyphs.[1 + int_of_float (frac *. float_of_int (levels - 1))]
+      in
+      Format.fprintf ppf "%s: y in [%.4g, %.4g]@." fig.id ymin ymax;
+      let label_width =
+        List.fold_left (fun acc s -> max acc (String.length s.label)) 0 fig.series
+      in
+      List.iter
+        (fun s ->
+          let bars = String.init (List.length s.points) (fun i -> glyph (snd (List.nth s.points i))) in
+          Format.fprintf ppf "  %-*s |%s|@." label_width s.label bars)
+        fig.series
+
+let csv_escape s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let to_csv fig =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (csv_escape fig.xlabel);
+  List.iter (fun s -> Buffer.add_string buf ("," ^ csv_escape s.label)) fig.series;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun x ->
+      Buffer.add_string buf (Printf.sprintf "%g" x);
+      List.iter
+        (fun s ->
+          Buffer.add_char buf ',';
+          match value_at s x with
+          | Some y -> Buffer.add_string buf (Printf.sprintf "%.6g" y)
+          | None -> ())
+        fig.series;
+      Buffer.add_char buf '\n')
+    (xs fig);
+  Buffer.contents buf
+
+let save_csv fig ~dir =
+  let path = Filename.concat dir (fig.id ^ ".csv") in
+  Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc (to_csv fig));
+  path

@@ -1,0 +1,38 @@
+(** Figure data: labelled series of (x, y) points plus rendering to
+    aligned text tables and CSV — the harness's answer to the paper's
+    plots. *)
+
+type series = { label : string; points : (float * float) list }
+
+type figure = {
+  id : string;  (** e.g. "fig3" *)
+  title : string;
+  xlabel : string;
+  ylabel : string;
+  series : series list;
+  notes : string list;  (** provenance and caveats printed with the data *)
+}
+
+val series : label:string -> (float * float) list -> series
+
+val figure :
+  id:string -> title:string -> xlabel:string -> ylabel:string -> ?notes:string list ->
+  series list -> figure
+
+val xs : figure -> float list
+(** Sorted union of x values across all series. *)
+
+val value_at : series -> float -> float option
+
+val pp_figure : Format.formatter -> figure -> unit
+(** Aligned table: one row per x, one column per series. *)
+
+val pp_chart : ?height:int -> Format.formatter -> figure -> unit
+(** Terminal chart: each series as a braille-free ASCII row of bars
+    scaled to the figure's global y range, with the y extremes printed.
+    [height] (default 8) is the number of glyph levels used. *)
+
+val to_csv : figure -> string
+
+val save_csv : figure -> dir:string -> string
+(** Write [<dir>/<id>.csv]; returns the path. *)

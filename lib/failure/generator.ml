@@ -1,0 +1,61 @@
+open Bgl_stats
+
+type spec = {
+  n_events : int;
+  span : float;
+  volume : int;
+  burst_mean_size : float;
+  burst_jitter : float;
+  node_skew : float;
+  seed : int;
+}
+
+let default ~span ~volume ~n_events ~seed =
+  { n_events; span; volume; burst_mean_size = 3.; burst_jitter = 30.; node_skew = 1.4; seed }
+
+let validate spec =
+  if spec.n_events < 0 then invalid_arg "Generator: negative n_events";
+  if spec.span <= 0. then invalid_arg "Generator: span must be positive";
+  if spec.volume <= 0 then invalid_arg "Generator: volume must be positive";
+  if spec.burst_mean_size < 1. then invalid_arg "Generator: burst_mean_size must be >= 1";
+  if spec.node_skew < 0. then invalid_arg "Generator: node_skew must be >= 0"
+
+let generate spec =
+  validate spec;
+  let master = Rng.create ~seed:spec.seed in
+  let time_rng = Rng.split master ~label:"times" in
+  let node_rng = Rng.split master ~label:"nodes" in
+  (* Per-node propensity: Zipf over a random permutation, so the flaky
+     nodes are scattered across the torus rather than clustered at
+     index 0. *)
+  let weights = Dist.zipf_weights ~n:spec.volume ~skew:spec.node_skew in
+  let perm = Array.init spec.volume Fun.id in
+  Rng.shuffle node_rng perm;
+  let node_weights = Array.make spec.volume 0. in
+  Array.iteri (fun rank node -> node_weights.(node) <- weights.(rank)) perm;
+  let draw_node () = Dist.categorical node_rng node_weights in
+  (* Bursts until the event budget is spent; the last burst is trimmed,
+     so the count is exact. *)
+  let p_burst = 1. /. spec.burst_mean_size in
+  let events = ref [] in
+  let remaining = ref spec.n_events in
+  while !remaining > 0 do
+    let burst_time = Rng.float time_rng spec.span in
+    let burst_size = min !remaining (Dist.geometric time_rng ~p:p_burst) in
+    for _ = 1 to burst_size do
+      let time = Float.min spec.span (burst_time +. Rng.float time_rng spec.burst_jitter) in
+      events := { Bgl_trace.Failure_log.time; node = draw_node () } :: !events
+    done;
+    remaining := !remaining - burst_size
+  done;
+  let name =
+    Printf.sprintf "synth-failures(n=%d,span=%.0f,seed=%d)" spec.n_events spec.span spec.seed
+  in
+  Bgl_trace.Failure_log.make ~name !events
+
+let poisson_uniform ~span ~volume ~n_events ~seed =
+  let spec =
+    { n_events; span; volume; burst_mean_size = 1.; burst_jitter = 0.; node_skew = 0.; seed }
+  in
+  let log = generate spec in
+  { log with name = Printf.sprintf "uniform-failures(n=%d,seed=%d)" n_events seed }

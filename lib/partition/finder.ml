@@ -1,0 +1,223 @@
+open Bgl_torus
+
+type algo = Naive | Pop | Shape_search | Prefix
+
+let all_algos = [ Naive; Pop; Shape_search; Prefix ]
+
+let algo_name = function
+  | Naive -> "naive"
+  | Pop -> "pop"
+  | Shape_search -> "shape-search"
+  | Prefix -> "prefix"
+
+let compute_bases (d : Dims.t) ~wrap (s : Shape.t) =
+  let range extent dim =
+    if wrap then if extent = dim then [ 0 ] else List.init dim Fun.id
+    else List.init (dim - extent + 1) Fun.id
+  in
+  let xs = range s.sx d.nx and ys = range s.sy d.ny and zs = range s.sz d.nz in
+  List.concat_map (fun z -> List.concat_map (fun y -> List.map (fun x -> Coord.make x y z) xs) ys) zs
+
+(* Base sets depend only on (dims, wrap, shape); the schedulers query
+   them millions of times per simulation, so they are cached as
+   arrays. *)
+let bases_cache : (int * int * int * bool * int * int * int, Coord.t array) Hashtbl.t =
+  Hashtbl.create 256
+
+let bases_arr (d : Dims.t) ~wrap (s : Shape.t) =
+  let key = (d.nx, d.ny, d.nz, wrap, s.sx, s.sy, s.sz) in
+  match Hashtbl.find_opt bases_cache key with
+  | Some arr -> arr
+  | None ->
+      let arr = Array.of_list (compute_bases d ~wrap s) in
+      Hashtbl.replace bases_cache key arr;
+      arr
+
+let bases d ~wrap s = Array.to_list (bases_arr d ~wrap s)
+
+let sort_boxes = List.sort Box.compare
+
+(* Node-by-node freeness with early exit: the practical reading of the
+   appendix's "no need to search further once we hit the value for that
+   dimension". *)
+let box_free_scan grid (box : Box.t) =
+  let d = Grid.dims grid in
+  let b = box.base and s = box.shape in
+  let rec go dx dy dz =
+    if dz = s.sz then true
+    else if dy = s.sy then go 0 0 (dz + 1)
+    else if dx = s.sx then go 0 (dy + 1) dz
+    else
+      let c = Coord.wrap d (Coord.make (b.x + dx) (b.y + dy) (b.z + dz)) in
+      Grid.is_free grid (Coord.index d c) && go (dx + 1) dy dz
+  in
+  go 0 0 0
+
+let find_naive grid ~volume =
+  let d = Grid.dims grid in
+  let wrap = Grid.wrap grid in
+  let acc = ref [] in
+  (* Enumerate boxes of every size, then filter: the O(M^9) strawman. *)
+  List.iter
+    (fun shape ->
+      List.iter
+        (fun base ->
+          let box = Box.make base shape in
+          if box_free_scan grid box then acc := box :: !acc)
+        (bases d ~wrap shape))
+    (Shapes.shapes_desc d);
+  List.filter (fun b -> Box.volume b = volume) !acc |> sort_boxes
+
+let find_shape_search grid ~volume =
+  let d = Grid.dims grid in
+  let wrap = Grid.wrap grid in
+  let acc = ref [] in
+  List.iter
+    (fun shape ->
+      List.iter
+        (fun base ->
+          let box = Box.make base shape in
+          if box_free_scan grid box then acc := box :: !acc)
+        (bases d ~wrap shape))
+    (Shapes.shapes_of_volume d volume);
+  sort_boxes !acc
+
+let find_prefix_with grid table ~volume =
+  let d = Grid.dims grid in
+  let wrap = Grid.wrap grid in
+  let acc = ref [] in
+  List.iter
+    (fun shape ->
+      Array.iter
+        (fun base ->
+          let box = Box.make base shape in
+          if Prefix.box_is_free table box then acc := box :: !acc)
+        (bases_arr d ~wrap shape))
+    (Shapes.shapes_of_volume d volume);
+  sort_boxes !acc
+
+let find_prefix grid ~volume = find_prefix_with grid (Prefix.build grid) ~volume
+
+let find_with table grid ~volume =
+  if volume <= 0 then invalid_arg "Finder.find_with: volume must be positive";
+  if volume > Grid.volume grid then [] else find_prefix_with grid table ~volume
+
+let exists_free_with table grid ~volume =
+  if volume <= 0 then invalid_arg "Finder.exists_free_with: volume must be positive";
+  if volume > Grid.volume grid then false
+  else
+    let d = Grid.dims grid in
+    let wrap = Grid.wrap grid in
+    List.exists
+      (fun shape ->
+        Array.exists
+          (fun base -> Prefix.box_is_free table (Box.make base shape))
+          (bases_arr d ~wrap shape))
+      (Shapes.shapes_of_volume d volume)
+
+(* Projection of partitions: for every z-extent starting at z0, keep a
+   2-D map of columns that are free across the whole extent (AND-ed in
+   incrementally as the extent grows), and find free rectangles in it
+   with 2-D prefix sums. *)
+let find_pop grid ~volume =
+  let d = Grid.dims grid in
+  let wrap = Grid.wrap grid in
+  let ex = if wrap then 2 * d.nx else d.nx in
+  let ey = if wrap then 2 * d.ny else d.ny in
+  let cum = Array.make ((ex + 1) * (ey + 1)) 0 in
+  let free2d = Array.make (d.nx * d.ny) true in
+  let rebuild_cum () =
+    (* cum.(i + (ex+1)*j) = #blocked columns in [0,i) x [0,j) of the
+       (possibly doubled) 2-D space. *)
+    for j = 1 to ey do
+      for i = 1 to ex do
+        let blocked = if free2d.((i - 1) mod d.nx + (d.nx * ((j - 1) mod d.ny))) then 0 else 1 in
+        cum.(i + ((ex + 1) * j)) <-
+          blocked
+          + cum.(i - 1 + ((ex + 1) * j))
+          + cum.(i + ((ex + 1) * (j - 1)))
+          - cum.(i - 1 + ((ex + 1) * (j - 1)))
+      done
+    done
+  in
+  let rect_free x0 y0 sx sy =
+    let at i j = cum.(i + ((ex + 1) * j)) in
+    at (x0 + sx) (y0 + sy) - at x0 (y0 + sy) - at (x0 + sx) y0 + at x0 y0 = 0
+  in
+  let acc = ref [] in
+  let z_starts = if wrap then List.init d.nz Fun.id else List.init d.nz Fun.id in
+  List.iter
+    (fun z0 ->
+      Array.fill free2d 0 (Array.length free2d) true;
+      let max_sz = if wrap then d.nz else d.nz - z0 in
+      for sz = 1 to max_sz do
+        (* Grow the projection by layer z0 + sz - 1. *)
+        let z = (z0 + sz - 1) mod d.nz in
+        for y = 0 to d.ny - 1 do
+          for x = 0 to d.nx - 1 do
+            if not (Grid.is_free grid (Coord.index d (Coord.make x y z))) then
+              free2d.(x + (d.nx * y)) <- false
+          done
+        done;
+        (* Canonical rule: a full wrap of the z dimension is only
+           reported at base z = 0. *)
+        let z_canonical = (not wrap) || sz < d.nz || z0 = 0 in
+        if volume mod sz = 0 && z_canonical then begin
+          rebuild_cum ();
+          let area = volume / sz in
+          List.iter
+            (fun sx ->
+              if sx <= d.nx && area / sx <= d.ny then begin
+                let sy = area / sx in
+                let xs =
+                  if wrap then if sx = d.nx then [ 0 ] else List.init d.nx Fun.id
+                  else List.init (d.nx - sx + 1) Fun.id
+                in
+                let ys =
+                  if wrap then if sy = d.ny then [ 0 ] else List.init d.ny Fun.id
+                  else List.init (d.ny - sy + 1) Fun.id
+                in
+                List.iter
+                  (fun y0 ->
+                    List.iter
+                      (fun x0 ->
+                        if rect_free x0 y0 sx sy then
+                          acc :=
+                            Box.make (Coord.make x0 y0 z0) (Shape.make sx sy sz) :: !acc)
+                      xs)
+                  ys
+              end)
+            (Shapes.divisors area)
+        end
+      done)
+    z_starts;
+  sort_boxes !acc
+
+let find algo grid ~volume =
+  if volume <= 0 then invalid_arg "Finder.find: volume must be positive";
+  if volume > Grid.volume grid then []
+  else
+    match algo with
+    | Naive -> find_naive grid ~volume
+    | Pop -> find_pop grid ~volume
+    | Shape_search -> find_shape_search grid ~volume
+    | Prefix -> find_prefix grid ~volume
+
+let find_for_size algo grid ~size =
+  match Shapes.round_up_volume (Grid.dims grid) size with
+  | None -> []
+  | Some volume -> find algo grid ~volume
+
+let exists_free grid ~volume =
+  if volume <= 0 then invalid_arg "Finder.exists_free: volume must be positive";
+  if volume > Grid.volume grid then false
+  else
+    let d = Grid.dims grid in
+    let wrap = Grid.wrap grid in
+    let table = Prefix.build grid in
+    List.exists
+      (fun shape ->
+        Array.exists
+          (fun base -> Prefix.box_is_free table (Box.make base shape))
+          (bases_arr d ~wrap shape))
+      (Shapes.shapes_of_volume d volume)

@@ -1,0 +1,57 @@
+(** Free-partition finders.
+
+    Four algorithms with identical observable behaviour — they return
+    the same canonical set of free boxes — but very different running
+    times, matching the lineage in the paper's Appendix 9:
+
+    - {!Naive}: enumerate every box of every size, check node by node,
+      filter by volume. O(M⁹) on an empty M×M×M torus. The reference
+      the others are validated against.
+    - {!Pop}: a Krevat-style Projection-of-Partitions dynamic program —
+      project each z-extent onto a 2-D free map maintained
+      incrementally, then scan rectangles with 2-D prefix sums. O(M⁵)
+      flavour.
+    - {!Shape_search}: the paper's algorithm — only divisor shapes of
+      the requested volume, scanning bases with early exit on the
+      first occupied node.
+    - {!Prefix}: the shape search with a 3-D summed-area table so each
+      candidate box costs O(1) (this repository's refinement; used by
+      the schedulers).
+
+    All results are canonical ({!Bgl_torus.Box.canonical}) and sorted,
+    so finder outputs can be compared structurally. *)
+
+open Bgl_torus
+
+type algo = Naive | Pop | Shape_search | Prefix
+
+val all_algos : algo list
+val algo_name : algo -> string
+
+val bases : Dims.t -> wrap:bool -> Shape.t -> Coord.t list
+(** Base coordinates to try for a shape: every in-bounds coordinate
+    with wraparound (collapsed to 0 along dimensions the shape spans
+    fully), or only non-overflowing bases without. *)
+
+val bases_arr : Dims.t -> wrap:bool -> Shape.t -> Coord.t array
+(** Cached array view of {!bases}; callers must not mutate it. *)
+
+val find : algo -> Grid.t -> volume:int -> Box.t list
+(** All free partitions of exactly [volume] nodes, canonical and
+    sorted. [volume] must be positive; an unrealisable volume yields
+    []. *)
+
+val find_with : Prefix.t -> Grid.t -> volume:int -> Box.t list
+(** {!Prefix}-algorithm search reusing a prebuilt summed-area table
+    (which must reflect the grid's current occupancy) — the engine
+    shares one table across a scheduling pass. *)
+
+val exists_free_with : Prefix.t -> Grid.t -> volume:int -> bool
+
+val find_for_size : algo -> Grid.t -> size:int -> Box.t list
+(** Candidates for a job of [size] nodes: the free partitions of the
+    rounded-up volume ({!Shapes.round_up_volume}). *)
+
+val exists_free : Grid.t -> volume:int -> bool
+(** Whether at least one free partition of exactly [volume] exists
+    (prefix-based, with early exit). *)

@@ -1,0 +1,53 @@
+open Bgl_torus
+
+let search grid =
+  if Grid.free_count grid = 0 then None
+  else
+    let d = Grid.dims grid in
+    let wrap = Grid.wrap grid in
+    let free = Grid.free_count grid in
+    let table = Prefix.build grid in
+    let first_free_in shapes =
+      Array.fold_left
+        (fun acc shape ->
+          match acc with
+          | Some _ -> acc
+          | None ->
+              Array.fold_left
+                (fun acc base ->
+                  match acc with
+                  | Some _ -> acc
+                  | None ->
+                      let box = Box.make base shape in
+                      if Prefix.box_is_free table box then Some box else None)
+                None
+                (Finder.bases_arr d ~wrap shape))
+        None shapes
+    in
+    (* Levels are sorted by decreasing volume; no box larger than the
+       free-node count can be free, so those levels are skipped, and
+       the first level with any free box yields the MFP. *)
+    let rec scan_levels = function
+      | [] -> None
+      | (volume, shapes) :: rest ->
+          if volume > free then scan_levels rest
+          else (match first_free_in shapes with Some b -> Some b | None -> scan_levels rest)
+    in
+    scan_levels (Shapes.levels_desc d)
+
+let box grid = search grid
+
+let volume grid = match search grid with None -> 0 | Some b -> Box.volume b
+
+(* A distinct owner id out of the job-id space; Grid forbids negative
+   owners other than its own sentinels, so use a huge positive id. *)
+let probe_owner = max_int
+
+let volume_after grid candidate =
+  Grid.occupy grid candidate ~owner:probe_owner;
+  Fun.protect
+    ~finally:(fun () -> Grid.vacate grid candidate ~owner:probe_owner)
+    (fun () -> volume grid)
+
+let loss grid candidate = volume grid - volume_after grid candidate
+let loss_given ~before grid candidate = before - volume_after grid candidate

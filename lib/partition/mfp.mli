@@ -1,0 +1,30 @@
+(** Maximal Free Partition (MFP) computation.
+
+    The MFP is the largest contiguous rectangular free partition in the
+    torus (Section 5.1, Figure 1). Krevat's heuristic prefers
+    placements that leave the largest MFP behind; the balancing
+    algorithm's L_MFP term is the drop in MFP volume caused by a
+    candidate placement. The search scans shapes in decreasing-volume
+    order over a summed-area table, so it stops at the first volume
+    level that still has a free box. *)
+
+open Bgl_torus
+
+val volume : Grid.t -> int
+(** Volume of the MFP; 0 when no node is free. *)
+
+val box : Grid.t -> Box.t option
+(** Some maximal free partition (the first in scan order), if any. *)
+
+val volume_after : Grid.t -> Box.t -> int
+(** [volume_after grid candidate] is the MFP volume once [candidate]
+    (which must be free) is occupied. The grid is mutated temporarily
+    and restored before returning. *)
+
+val loss : Grid.t -> Box.t -> int
+(** [loss grid candidate = volume grid - volume_after grid candidate]:
+    the L_MFP term of the balancing algorithm. *)
+
+val loss_given : before:int -> Grid.t -> Box.t -> int
+(** Same as {!loss} with the pre-placement MFP volume already known —
+    the schedulers compute it once per scheduling decision. *)

@@ -1,0 +1,74 @@
+open Bgl_torus
+
+let divisors n =
+  if n <= 0 then invalid_arg "Shapes.divisors: argument must be positive";
+  let rec loop d acc =
+    if d * d > n then List.sort Int.compare acc
+    else if n mod d = 0 then
+      let acc = d :: (if d <> n / d then (n / d) :: acc else acc) in
+      loop (d + 1) acc
+    else loop (d + 1) acc
+  in
+  loop 1 []
+
+let shapes_of_volume (d : Dims.t) v =
+  if v <= 0 then invalid_arg "Shapes.shapes_of_volume: volume must be positive";
+  let acc = ref [] in
+  List.iter
+    (fun sx ->
+      if sx <= d.nx then
+        List.iter
+          (fun sy ->
+            if sy <= d.ny then
+              let sz = v / (sx * sy) in
+              if sz <= d.nz then acc := Shape.make sx sy sz :: !acc)
+          (divisors (v / sx)))
+    (divisors v);
+  List.sort Shape.compare !acc
+
+(* Catalogue of every fitting shape, computed once per dimension. *)
+type catalogue = { volumes : int list; desc : Shape.t list; levels : (int * Shape.t array) list }
+
+let catalogues : (int * int * int, catalogue) Hashtbl.t = Hashtbl.create 8
+
+let catalogue (d : Dims.t) =
+  let key = (d.nx, d.ny, d.nz) in
+  match Hashtbl.find_opt catalogues key with
+  | Some c -> c
+  | None ->
+      let all = ref [] in
+      for sx = 1 to d.nx do
+        for sy = 1 to d.ny do
+          for sz = 1 to d.nz do
+            all := Shape.make sx sy sz :: !all
+          done
+        done
+      done;
+      let volumes = List.map Shape.volume !all |> List.sort_uniq Int.compare in
+      let desc =
+        List.sort
+          (fun a b ->
+            match Int.compare (Shape.volume b) (Shape.volume a) with
+            | 0 -> Shape.compare a b
+            | c -> c)
+          !all
+      in
+      let levels =
+        List.map
+          (fun v ->
+            (v, Array.of_list (List.filter (fun s -> Shape.volume s = v) desc)))
+          (List.rev volumes)
+      in
+      let c = { volumes; desc; levels } in
+      Hashtbl.replace catalogues key c;
+      c
+
+let feasible_volumes d = (catalogue d).volumes
+
+let round_up_volume d s =
+  if s <= 0 then invalid_arg "Shapes.round_up_volume: size must be positive";
+  List.find_opt (fun v -> v >= s) (feasible_volumes d)
+
+let shapes_desc d = (catalogue d).desc
+
+let levels_desc d = (catalogue d).levels

@@ -1,0 +1,32 @@
+(** Enumeration of admissible partition shapes.
+
+    The paper's Appendix 9 builds the candidate set from
+    [SHAPES = { (x, y, z) | xyz = s }]; this module provides that
+    enumeration restricted to shapes that fit the torus, plus the
+    job-size rounding rule: a request for [s] nodes is served by the
+    smallest box volume [v >= s] for which some shape fits (e.g. 11
+    nodes on a 4×4×8 torus round up to 12). Catalogues are cached per
+    dimension because the scheduler queries them on every placement. *)
+
+open Bgl_torus
+
+val divisors : int -> int list
+(** Sorted positive divisors. Argument must be positive. *)
+
+val shapes_of_volume : Dims.t -> int -> Shape.t list
+(** All shapes with the exact volume that fit the torus, sorted. *)
+
+val feasible_volumes : Dims.t -> int list
+(** Sorted list of all volumes realisable by some fitting shape. *)
+
+val round_up_volume : Dims.t -> int -> int option
+(** [round_up_volume d s] is the smallest realisable volume [>= s], or
+    [None] when [s] exceeds the torus volume. [s] must be positive. *)
+
+val shapes_desc : Dims.t -> Shape.t list
+(** Every fitting shape, sorted by decreasing volume (ties in shape
+    order); the scan order used by the maximal-free-partition search. *)
+
+val levels_desc : Dims.t -> (int * Shape.t array) list
+(** The same shapes grouped by volume, volumes descending. Cached;
+    callers must not mutate the arrays. *)

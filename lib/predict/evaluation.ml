@@ -1,0 +1,53 @@
+type counts = {
+  true_positive : int;
+  false_positive : int;
+  true_negative : int;
+  false_negative : int;
+}
+
+type report = {
+  counts : counts;
+  precision : float;
+  recall : float;
+  false_positive_rate : float;
+  accuracy : float;
+}
+
+let ratio num den ~default = if den = 0 then default else float_of_int num /. float_of_int den
+
+let of_counts counts =
+  let { true_positive = tp; false_positive = fp; true_negative = tn; false_negative = fn } =
+    counts
+  in
+  {
+    counts;
+    precision = ratio tp (tp + fp) ~default:1.;
+    recall = ratio tp (tp + fn) ~default:1.;
+    false_positive_rate = ratio fp (fp + tn) ~default:0.;
+    accuracy = ratio (tp + tn) (tp + fp + tn + fn) ~default:1.;
+  }
+
+let probe (predictor : Predictor.t) ~truth ~span ~horizon ~nodes ~samples =
+  if span <= 0. || horizon <= 0. then invalid_arg "Evaluation.probe: span and horizon must be positive";
+  if nodes <= 0 || samples <= 0 then invalid_arg "Evaluation.probe: nodes and samples must be positive";
+  let tp = ref 0 and fp = ref 0 and tn = ref 0 and fn = ref 0 in
+  for sample = 0 to samples - 1 do
+    let now = span *. float_of_int sample /. float_of_int samples in
+    for node = 0 to nodes - 1 do
+      let predicted = predictor.node_will_fail ~node ~now ~horizon in
+      let actual = Failure_index.has_failure_in truth ~node ~t0:now ~t1:(now +. horizon) in
+      match (predicted, actual) with
+      | true, true -> incr tp
+      | true, false -> incr fp
+      | false, false -> incr tn
+      | false, true -> incr fn
+    done
+  done;
+  of_counts
+    { true_positive = !tp; false_positive = !fp; true_negative = !tn; false_negative = !fn }
+
+let pp ppf r =
+  Format.fprintf ppf
+    "tp=%d fp=%d tn=%d fn=%d  precision=%.3f recall=%.3f fpr=%.4f accuracy=%.3f"
+    r.counts.true_positive r.counts.false_positive r.counts.true_negative
+    r.counts.false_negative r.precision r.recall r.false_positive_rate r.accuracy

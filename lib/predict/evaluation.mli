@@ -1,0 +1,39 @@
+(** Predictor quality measurement.
+
+    The paper characterises predictors by their false-negative and
+    false-positive probabilities (Section 4.2) but never measures them
+    inside the simulation; this module closes that loop. A predictor is
+    scored against the ground-truth failure log over a grid of
+    (query time, node, horizon) probes, yielding the confusion counts
+    and the derived rates the paper reasons with. *)
+
+type counts = {
+  true_positive : int;  (** predicted fail, failure occurred *)
+  false_positive : int;  (** predicted fail, no failure *)
+  true_negative : int;
+  false_negative : int;  (** predicted safe, failure occurred *)
+}
+
+type report = {
+  counts : counts;
+  precision : float;  (** tp / (tp + fp); 1 when no positives *)
+  recall : float;  (** tp / (tp + fn) = 1 − p_f−; 1 when no failures probed *)
+  false_positive_rate : float;  (** fp / (fp + tn); the paper's p_f+ *)
+  accuracy : float;
+}
+
+val of_counts : counts -> report
+
+val probe :
+  Predictor.t ->
+  truth:Failure_index.t ->
+  span:float ->
+  horizon:float ->
+  nodes:int ->
+  samples:int ->
+  report
+(** Score boolean predictions over [samples] probe times uniformly
+    spaced in [\[0, span\]] × all [nodes] node ids, each asking about
+    the window [(t, t + horizon\]]. Deterministic. *)
+
+val pp : Format.formatter -> report -> unit

@@ -1,0 +1,34 @@
+(** History-based (non-oracle) failure prediction.
+
+    The paper simulates prediction quality by peeking at the failure
+    log with a confidence knob. This module provides the honest
+    counterpart in the lineage of the statistical predictors it cites
+    (Sahoo et al. 2003; Vilalta & Ma 2002): estimate each node's
+    failure intensity from events {e strictly in the past} and flag
+    nodes whose estimated probability of failing within the query
+    horizon crosses a threshold.
+
+    Two estimators:
+
+    - {!rate}: sliding-window event counting — intensity =
+      events in [(now − window, now\]] / window;
+    - {!ewma}: the same counting with exponential age weighting, which
+      reacts faster to the bursty traces the generator produces.
+
+    Because the synthetic (and real) failure logs concentrate events on
+    chronically bad nodes, past intensity genuinely predicts future
+    failures; {!Evaluation.probe} quantifies how well, and the
+    [ablate-history] bench compares scheduling with a learned predictor
+    against the paper's simulated-confidence one. *)
+
+val rate : window:float -> threshold:float -> Failure_index.t -> Predictor.t
+(** Flag a node when [intensity * horizon >= threshold], with
+    [intensity] the past-window event rate. The probability view
+    reports [min 1 (intensity * horizon)] (a one-term Poisson
+    approximation). [window] must be positive, [threshold]
+    non-negative. *)
+
+val ewma : half_life:float -> threshold:float -> Failure_index.t -> Predictor.t
+(** Exponentially weighted intensity: each past event contributes
+    [ln 2 / half_life * 2^(-(age / half_life))]. Same decision rule as
+    {!rate}. *)

@@ -1,0 +1,51 @@
+type spec =
+  | Periodic of { interval : float; overhead : float }
+  | Adaptive of { risky_interval : float; safe_interval : float; overhead : float }
+
+let validate = function
+  | Periodic { interval; overhead } ->
+      if interval <= 0. then invalid_arg "Checkpoint: interval must be positive";
+      if overhead < 0. then invalid_arg "Checkpoint: overhead must be non-negative"
+  | Adaptive { risky_interval; safe_interval; overhead } ->
+      if risky_interval <= 0. || safe_interval <= 0. then
+        invalid_arg "Checkpoint: intervals must be positive";
+      if overhead < 0. then invalid_arg "Checkpoint: overhead must be non-negative"
+
+let interval_for spec ~risky =
+  match spec with
+  | Periodic { interval; _ } -> interval
+  | Adaptive { risky_interval; safe_interval; _ } -> if risky then risky_interval else safe_interval
+
+let overhead = function
+  | Periodic { overhead; _ } -> overhead
+  | Adaptive { overhead; _ } -> overhead
+
+let checkpoints_for_work ~interval ~work =
+  if work <= 0. then 0
+  else
+    (* A checkpoint after every full interval of work, but none
+       coinciding with job completion. *)
+    let n = int_of_float (ceil (work /. interval)) - 1 in
+    max 0 n
+
+let wall_time ~interval ~overhead ~work =
+  work +. (float_of_int (checkpoints_for_work ~interval ~work) *. overhead)
+
+let persisted_at ~interval ~overhead ~work ~elapsed =
+  if elapsed <= 0. then 0.
+  else
+    (* Completing checkpoint k costs k * interval of work plus k
+       overheads, so k = floor (elapsed / (interval + overhead)). *)
+    let k = int_of_float (elapsed /. (interval +. overhead)) in
+    let k = min k (checkpoints_for_work ~interval ~work) in
+    float_of_int k *. interval
+
+let young_interval ~mtbf ~overhead =
+  if mtbf <= 0. || overhead <= 0. then
+    invalid_arg "Checkpoint.young_interval: mtbf and overhead must be positive";
+  sqrt (2. *. overhead *. mtbf)
+
+let mtbf_of_failures ~events ~span ~nodes_per_job ~volume =
+  if events <= 0 || span <= 0. || nodes_per_job <= 0. || volume <= 0 then
+    invalid_arg "Checkpoint.mtbf_of_failures: arguments must be positive";
+  span *. float_of_int volume /. (float_of_int events *. nodes_per_job)

@@ -1,0 +1,475 @@
+open Bgl_torus
+
+type event =
+  | Arrival of int  (* job index *)
+  | Finish of int * int  (* job index, generation *)
+  | Failure of int  (* node *)
+  | Repair of int  (* node *)
+
+type outcome = {
+  name : string;
+  report : Metrics.report;
+  jobs : Job.t array;
+  dropped_jobs : int;
+  complete : bool;
+}
+
+type state = {
+  cfg : Config.t;
+  policy : Policy.t;
+  recorder : Recorder.t option;
+  predictor : Bgl_predict.Predictor.t;
+  grid : Grid.t;
+  jobs : Job.t array;
+  events : event Event_queue.t;
+  metrics : Metrics.t;
+  mutable queue : int list;  (* FCFS by (arrival, id); holds job indices *)
+  mutable queued_demand : int;  (* sum of requested sizes over the queue *)
+  mutable running : int list;
+  mutable arrivals_pending : int;
+  mutable now : float;
+  mutable ptable : Prefix.t option;
+      (* summed-area table over [grid], invalidated on every occupancy
+         change and rebuilt lazily: scheduling passes share it across
+         all their free-partition queries *)
+}
+
+let invalidate_table st = st.ptable <- None
+
+let record st entry = Option.iter (fun r -> Recorder.record r entry) st.recorder
+
+let table st =
+  match st.ptable with
+  | Some t -> t
+  | None ->
+      let t = Prefix.build st.grid in
+      st.ptable <- Some t;
+      t
+
+(* ------------------------------------------------------------------ *)
+(* Queue management *)
+
+let queue_order (st : state) a b =
+  let ja = st.jobs.(a).spec and jb = st.jobs.(b).spec in
+  match compare ja.arrival jb.arrival with 0 -> Int.compare ja.id jb.id | c -> c
+
+let queue_insert st idx =
+  let rec ins = function
+    | [] -> [ idx ]
+    | head :: _ as l when queue_order st idx head < 0 -> idx :: l
+    | head :: rest -> head :: ins rest
+  in
+  st.queue <- ins st.queue;
+  st.queued_demand <- st.queued_demand + st.jobs.(idx).spec.size
+
+let queue_remove st idx =
+  st.queue <- List.filter (fun i -> i <> idx) st.queue;
+  st.queued_demand <- st.queued_demand - st.jobs.(idx).spec.size
+
+(* ------------------------------------------------------------------ *)
+(* Placement *)
+
+let cap_candidates cfg candidates =
+  match cfg.Config.candidate_cap with
+  | None -> candidates
+  | Some cap ->
+      let n = List.length candidates in
+      if n <= cap then candidates
+      else begin
+        (* Deterministic even subsample across the (sorted) list. *)
+        let arr = Array.of_list candidates in
+        List.init cap (fun i -> arr.(i * n / cap))
+      end
+
+let find_candidates st volume =
+  if Grid.free_count st.grid < volume then []
+  else cap_candidates st.cfg (Bgl_partition.Finder.find_with (table st) st.grid ~volume)
+
+let checkpoint_interval st (job : Job.t) box =
+  match st.cfg.checkpoint with
+  | None -> None
+  | Some spec ->
+      let risky =
+        match spec with
+        | Checkpoint.Periodic _ -> false
+        | Checkpoint.Adaptive _ ->
+            Bgl_predict.Predictor.partition_will_fail st.predictor
+              ~nodes:(Box.indices (Grid.dims st.grid) box)
+              ~now:st.now ~horizon:job.spec.estimate
+      in
+      Some (Checkpoint.interval_for spec ~risky)
+
+let start_job st idx box =
+  let job = st.jobs.(idx) in
+  let interval = checkpoint_interval st job box in
+  let wall =
+    match interval with
+    | None -> job.remaining
+    | Some iv ->
+        Checkpoint.wall_time ~interval:iv
+          ~overhead:(Checkpoint.overhead (Option.get st.cfg.checkpoint))
+          ~work:job.remaining
+  in
+  Grid.occupy st.grid box ~owner:idx;
+  invalidate_table st;
+  if job.first_start = None then job.first_start <- Some st.now;
+  job.state <-
+    Running
+      {
+        box;
+        started = st.now;
+        finish_time = st.now +. wall;
+        generation = job.generation;
+        work_at_start = job.remaining;
+        interval;
+      };
+  st.running <- idx :: st.running;
+  record st
+    (Recorder.Job_started { job = job.spec.id; time = st.now; box; restart = job.restarts > 0 });
+  Event_queue.push st.events ~time:(st.now +. wall) (Finish (idx, job.generation))
+
+let try_place st (job : Job.t) =
+  match find_candidates st job.volume with
+  | [] -> None
+  | candidates ->
+      let ctx = Policy.make_ctx ~now:st.now st.grid in
+      st.policy.choose ctx ~job:job.spec ~volume:job.volume ~candidates
+
+(* ------------------------------------------------------------------ *)
+(* EASY backfilling with a spatial reservation *)
+
+let estimated_run_end st idx =
+  let job = st.jobs.(idx) in
+  match Job.current_run job with
+  | None -> st.now
+  | Some r -> r.started +. Float.max job.spec.estimate (st.now -. r.started)
+
+(* Earliest time the head job could start if running jobs end at their
+   estimates, and a partition it could then take. *)
+let compute_reservation st (head : Job.t) =
+  let ghost = Grid.copy st.grid in
+  let by_end =
+    List.sort
+      (fun a b -> compare (estimated_run_end st a) (estimated_run_end st b))
+      st.running
+  in
+  let rec release shadow = function
+    | [] -> (shadow, None)
+    | idx :: rest -> (
+        let job = st.jobs.(idx) in
+        (match Job.current_run job with
+        | Some r -> Grid.vacate ghost r.box ~owner:idx
+        | None -> ());
+        let shadow = estimated_run_end st idx in
+        if
+          Grid.free_count ghost >= head.volume
+          && Bgl_partition.Finder.exists_free ghost ~volume:head.volume
+        then
+          let boxes =
+            Bgl_partition.Finder.find Bgl_partition.Finder.Prefix ghost ~volume:head.volume
+          in
+          (shadow, Some (List.hd boxes))
+        else release shadow rest)
+  in
+  if
+    Grid.free_count ghost >= head.volume
+    && Bgl_partition.Finder.exists_free ghost ~volume:head.volume
+  then (st.now, None) (* should have been placed directly *)
+  else release st.now by_end
+
+let backfill_pass st head_idx rest =
+  let head = st.jobs.(head_idx) in
+  let shadow, reserved = compute_reservation st head in
+  let dims = Grid.dims st.grid in
+  let depth = st.cfg.backfill_depth in
+  let rec scan count = function
+    | [] -> ()
+    | _ when count >= depth -> ()
+    | idx :: later ->
+        let job = st.jobs.(idx) in
+        let candidates = find_candidates st job.volume in
+        let allowed =
+          if candidates = [] then []
+          else if st.now +. job.spec.estimate <= shadow then candidates
+          else
+            match reserved with
+            | None -> candidates
+            | Some res -> List.filter (fun b -> not (Box.overlap dims b res)) candidates
+        in
+        (if allowed <> [] then
+           let ctx = Policy.make_ctx ~now:st.now st.grid in
+           match st.policy.choose ctx ~job:job.spec ~volume:job.volume ~candidates:allowed with
+           | Some box ->
+               queue_remove st idx;
+               start_job st idx box
+           | None -> ());
+        scan (count + 1) later
+  in
+  scan 0 rest
+
+(* ------------------------------------------------------------------ *)
+(* Migration: re-pack running jobs (largest first) to defragment *)
+
+let try_migrate st (head : Job.t) =
+  if Grid.free_count st.grid < head.volume then false
+  else begin
+    let dims = Grid.dims st.grid in
+    let ghost = Grid.create ~wrap:(Grid.wrap st.grid) dims in
+    (* Keep downed nodes down in the ghost. *)
+    Grid.iter_owned st.grid (fun node owner ->
+        if owner = Grid.down_owner then Grid.occupy_node ghost node ~owner:Grid.down_owner);
+    let order =
+      List.sort
+        (fun a b -> Int.compare st.jobs.(b).volume st.jobs.(a).volume)
+        st.running
+    in
+    let placements =
+      List.fold_left
+        (fun acc idx ->
+          match acc with
+          | None -> None
+          | Some placed -> (
+              let job = st.jobs.(idx) in
+              match
+                Bgl_partition.Finder.find Bgl_partition.Finder.Prefix ghost ~volume:job.volume
+              with
+              | [] -> None
+              | box :: _ ->
+                  Grid.occupy ghost box ~owner:idx;
+                  Some ((idx, box) :: placed)))
+        (Some []) order
+    in
+    match placements with
+    | None -> false
+    | Some placed ->
+        if not (Bgl_partition.Finder.exists_free ghost ~volume:head.volume) then false
+        else begin
+          (* Commit in two phases: a job's new box may overlap another
+             job's old box, so every moved job vacates before any
+             occupies. *)
+          let moves =
+            List.filter_map
+              (fun (idx, new_box) ->
+                match Job.current_run st.jobs.(idx) with
+                | Some r when not (Box.equal r.box new_box) -> Some (idx, r, new_box)
+                | Some _ | None -> None)
+              placed
+          in
+          List.iter (fun (idx, (r : Job.run), _) -> Grid.vacate st.grid r.box ~owner:idx) moves;
+          List.iter
+            (fun (idx, (r : Job.run), new_box) ->
+              let job = st.jobs.(idx) in
+              Grid.occupy st.grid new_box ~owner:idx;
+              record st
+                (Recorder.Job_migrated
+                   { job = job.spec.id; time = st.now; from_box = r.box; to_box = new_box });
+              job.generation <- job.generation + 1;
+              let finish_time = r.finish_time +. st.cfg.migration_overhead in
+              job.state <- Running { r with box = new_box; finish_time; generation = job.generation };
+              Event_queue.push st.events ~time:finish_time (Finish (idx, job.generation));
+              Metrics.record_migration st.metrics)
+            moves;
+          if moves <> [] then invalidate_table st;
+          true
+        end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* The scheduling pass: place the head while possible, then backfill *)
+
+let schedule_pass st =
+  let rec go migration_tried =
+    match st.queue with
+    | [] -> ()
+    | head_idx :: rest -> (
+        let head = st.jobs.(head_idx) in
+        match try_place st head with
+        | Some box ->
+            queue_remove st head_idx;
+            start_job st head_idx box;
+            go migration_tried
+        | None ->
+            if st.cfg.migration && (not migration_tried) && try_migrate st head then go true
+            else if st.cfg.backfill then backfill_pass st head_idx rest)
+  in
+  go false
+
+(* ------------------------------------------------------------------ *)
+(* Event handling *)
+
+let complete_run st idx =
+  let job = st.jobs.(idx) in
+  match Job.current_run job with
+  | None -> ()
+  | Some r ->
+      Grid.vacate st.grid r.box ~owner:idx;
+      invalidate_table st;
+      st.running <- List.filter (fun i -> i <> idx) st.running;
+      (match r.interval with
+      | None -> ()
+      | Some iv ->
+          let n = Checkpoint.checkpoints_for_work ~interval:iv ~work:r.work_at_start in
+          job.checkpoints_taken <- job.checkpoints_taken + n;
+          for _ = 1 to n do
+            Metrics.record_checkpoint st.metrics
+          done);
+      job.remaining <- 0.;
+      job.state <- Completed;
+      job.completion <- Some st.now;
+      record st (Recorder.Job_finished { job = job.spec.id; time = st.now });
+      Metrics.record_completion st.metrics job
+
+let kill_job st idx ~node =
+  let job = st.jobs.(idx) in
+  match Job.current_run job with
+  | None -> ()
+  | Some r ->
+      let elapsed = st.now -. r.started in
+      let persisted =
+        match (r.interval, st.cfg.checkpoint) with
+        | Some iv, Some spec ->
+            Checkpoint.persisted_at ~interval:iv ~overhead:(Checkpoint.overhead spec)
+              ~work:r.work_at_start ~elapsed
+        | None, _ | _, None -> 0.
+      in
+      (match r.interval with
+      | Some iv when persisted > 0. ->
+          let n = int_of_float (persisted /. iv) in
+          job.checkpoints_taken <- job.checkpoints_taken + n;
+          for _ = 1 to n do
+            Metrics.record_checkpoint st.metrics
+          done
+      | Some _ | None -> ());
+      Grid.vacate st.grid r.box ~owner:idx;
+      invalidate_table st;
+      st.running <- List.filter (fun i -> i <> idx) st.running;
+      let lost = float_of_int job.volume *. (elapsed -. persisted) in
+      job.lost_node_seconds <- job.lost_node_seconds +. lost;
+      record st
+        (Recorder.Job_killed { job = job.spec.id; time = st.now; node; lost_node_seconds = lost });
+      Metrics.record_job_kill st.metrics ~lost_node_seconds:lost;
+      job.remaining <- r.work_at_start -. persisted;
+      job.generation <- job.generation + 1;
+      job.restarts <- job.restarts + 1;
+      job.state <- Queued;
+      queue_insert st idx
+
+let handle st = function
+  | Arrival idx ->
+      st.arrivals_pending <- st.arrivals_pending - 1;
+      queue_insert st idx
+  | Finish (idx, gen) -> (
+      let job = st.jobs.(idx) in
+      match Job.current_run job with
+      | Some r when r.generation = gen -> complete_run st idx
+      | Some _ | None -> () (* stale event from a killed or migrated run *))
+  | Failure node -> (
+      Metrics.record_failure_event st.metrics;
+      let victim =
+        match Grid.owner st.grid node with
+        | Some owner when owner >= 0 ->
+            let victim_id = st.jobs.(owner).spec.id in
+            kill_job st owner ~node;
+            Some victim_id
+        | Some _ | None -> None
+      in
+      record st (Recorder.Node_failed { time = st.now; node; victim });
+      (* Downtime extension: hold the node out of service. *)
+      if st.cfg.repair_time > 0. then
+        match Grid.owner st.grid node with
+        | None ->
+            Grid.occupy_node st.grid node ~owner:Grid.down_owner;
+            invalidate_table st;
+            Event_queue.push st.events ~time:(st.now +. st.cfg.repair_time) (Repair node)
+        | Some _ -> () (* already down: burst double-hit *))
+  | Repair node -> (
+      match Grid.owner st.grid node with
+      | Some owner when owner = Grid.down_owner ->
+          Grid.vacate_node st.grid node ~owner;
+          record st (Recorder.Node_repaired { time = st.now; node });
+          invalidate_table st
+      | Some _ | None -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Driver *)
+
+let run ?(config = Config.default) ?(predictor = Bgl_predict.Predictor.null) ?recorder ~policy
+    ~(log : Bgl_trace.Job_log.t) ~(failures : Bgl_trace.Failure_log.t) () =
+  Config.validate config;
+  (match Bgl_trace.Failure_log.validate_nodes failures ~volume:(Dims.volume config.dims) with
+  | Ok () -> ()
+  | Error msg -> invalid_arg msg);
+  let dropped = ref 0 in
+  let jobs =
+    Array.to_list log.jobs
+    |> List.filter_map (fun (spec : Bgl_trace.Job_log.job) ->
+           match Bgl_partition.Shapes.round_up_volume config.dims spec.size with
+           | Some volume -> Some (Job.create spec ~volume)
+           | None ->
+               if config.drop_oversize then begin
+                 incr dropped;
+                 None
+               end
+               else
+                 invalid_arg
+                   (Printf.sprintf "Engine.run: job %d (%d nodes) exceeds the torus" spec.id
+                      spec.size))
+    |> Array.of_list
+  in
+  let st =
+    {
+      cfg = config;
+      policy;
+      recorder;
+      predictor;
+      grid = Grid.create ~wrap:config.wrap config.dims;
+      jobs;
+      events = Event_queue.create ();
+      metrics = Metrics.create ~nodes:(Dims.volume config.dims) ~slowdown_tau:config.slowdown_tau;
+      queue = [];
+      queued_demand = 0;
+      running = [];
+      arrivals_pending = Array.length jobs;
+      now = 0.;
+      ptable = None;
+    }
+  in
+  Array.iteri (fun idx (j : Job.t) -> Event_queue.push st.events ~time:j.spec.arrival (Arrival idx)) jobs;
+  Array.iter
+    (fun (e : Bgl_trace.Failure_log.event) -> Event_queue.push st.events ~time:e.time (Failure e.node))
+    failures.events;
+  let first_arrival = if Array.length jobs = 0 then 0. else jobs.(0).spec.arrival in
+  let rec loop () =
+    if st.arrivals_pending = 0 && st.queue = [] && st.running = [] then ()
+    else
+      match Event_queue.pop st.events with
+      | None -> () (* unschedulable leftovers; reported as incomplete *)
+      | Some (time, ev) ->
+          st.now <- time;
+          handle st ev;
+          (* Drain the batch of simultaneous events (failure bursts)
+             before scheduling once. *)
+          let rec drain () =
+            match Event_queue.pop_if_at st.events ~time with
+            | Some ev ->
+                handle st ev;
+                drain ()
+            | None -> ()
+          in
+          drain ();
+          schedule_pass st;
+          if time >= first_arrival then
+            Metrics.advance st.metrics ~now:time ~free:(Grid.free_count st.grid)
+              ~queued_demand:st.queued_demand;
+          loop ()
+  in
+  loop ();
+  let completed = Array.to_list jobs |> List.filter Job.is_completed in
+  let report = Metrics.report st.metrics ~jobs:completed ~total_jobs:(Array.length jobs) in
+  {
+    name = Printf.sprintf "%s vs %s under %s" log.name failures.name policy.name;
+    report;
+    jobs;
+    dropped_jobs = !dropped;
+    complete = List.length completed = Array.length jobs;
+  }

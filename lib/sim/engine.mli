@@ -1,0 +1,44 @@
+(** The event-driven simulator (Section 6.1 of the paper).
+
+    The engine replays a job log against a failure log on a torus
+    occupancy grid. Events are arrivals, run completions, node
+    failures, node repairs (downtime extension) — checkpoints are
+    folded into run wall times. The queue discipline is FCFS; when the
+    queue head cannot be placed the engine optionally backfills later
+    jobs under an EASY-style spatial reservation (never delaying the
+    head's earliest estimated start), and optionally migrates running
+    jobs to defragment the torus. Placement decisions among candidate
+    partitions are delegated to a {!Policy.t}.
+
+    Failure semantics follow the paper: failures are transient; a
+    failure on a node occupied by a job kills the whole job, whose
+    unsaved work is lost and which is requeued with its original
+    arrival priority; the node is immediately reusable (unless a
+    non-zero repair time is configured). *)
+
+type outcome = {
+  name : string;
+  report : Metrics.report;
+  jobs : Job.t array;  (** final state of every admitted job *)
+  dropped_jobs : int;  (** jobs larger than the torus, dropped at ingest *)
+  complete : bool;  (** every admitted job completed *)
+}
+
+val run :
+  ?config:Config.t ->
+  ?predictor:Bgl_predict.Predictor.t ->
+  ?recorder:Recorder.t ->
+  policy:Policy.t ->
+  log:Bgl_trace.Job_log.t ->
+  failures:Bgl_trace.Failure_log.t ->
+  unit ->
+  outcome
+(** Run the simulation to completion. [predictor] (default
+    {!Bgl_predict.Predictor.null}) is only consulted by the engine for
+    adaptive checkpointing risk decisions; placement policies carry
+    their own predictor. A [recorder] receives every lifecycle
+    transition for post-hoc analysis.
+
+    @raise Invalid_argument on an invalid config, a failure log that
+    references nodes outside the torus, or (with
+    [config.drop_oversize = false]) a job larger than the torus. *)

@@ -1,0 +1,58 @@
+open Bgl_torus
+
+type run = {
+  box : Box.t;
+  started : float;
+  finish_time : float;
+  generation : int;
+  work_at_start : float;
+  interval : float option;
+}
+
+type state = Queued | Running of run | Completed
+
+type t = {
+  spec : Bgl_trace.Job_log.job;
+  volume : int;
+  mutable state : state;
+  mutable generation : int;
+  mutable remaining : float;
+  mutable restarts : int;
+  mutable first_start : float option;
+  mutable completion : float option;
+  mutable lost_node_seconds : float;
+  mutable checkpoints_taken : int;
+}
+
+let create (spec : Bgl_trace.Job_log.job) ~volume =
+  if volume < spec.size then invalid_arg "Job.create: volume smaller than requested size";
+  {
+    spec;
+    volume;
+    state = Queued;
+    generation = 0;
+    remaining = spec.run_time;
+    restarts = 0;
+    first_start = None;
+    completion = None;
+    lost_node_seconds = 0.;
+    checkpoints_taken = 0;
+  }
+
+let is_queued t = t.state = Queued
+let is_running t = match t.state with Running _ -> true | Queued | Completed -> false
+let is_completed t = t.state = Completed
+let current_run t = match t.state with Running r -> Some r | Queued | Completed -> None
+
+let wait_time t =
+  match t.first_start with
+  | Some s -> s -. t.spec.arrival
+  | None -> invalid_arg "Job.wait_time: job never started"
+
+let response_time t =
+  match t.completion with
+  | Some f -> f -. t.spec.arrival
+  | None -> invalid_arg "Job.response_time: job not completed"
+
+let bounded_slowdown ?(tau = 10.) t =
+  Float.max (response_time t) tau /. Float.max t.spec.run_time tau

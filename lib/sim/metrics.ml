@@ -1,0 +1,147 @@
+type t = {
+  nodes : int;
+  slowdown_tau : float;
+  mutable anchored : bool;
+  mutable start_time : float;
+  mutable last_time : float;
+  mutable cur_free : int;
+  mutable cur_demand : int;
+  mutable busy_integral : float;  (* node-seconds occupied *)
+  mutable unused_integral : float;  (* node-seconds free beyond demand *)
+  mutable waits : float list;
+  mutable responses : float list;
+  mutable slowdowns : float list;
+  mutable failures_injected : int;
+  mutable job_kills : int;
+  mutable lost_work : float;
+  mutable migrations : int;
+  mutable checkpoints : int;
+}
+
+let create ~nodes ~slowdown_tau =
+  {
+    nodes;
+    slowdown_tau;
+    anchored = false;
+    start_time = 0.;
+    last_time = 0.;
+    cur_free = nodes;
+    cur_demand = 0;
+    busy_integral = 0.;
+    unused_integral = 0.;
+    waits = [];
+    responses = [];
+    slowdowns = [];
+    failures_injected = 0;
+    job_kills = 0;
+    lost_work = 0.;
+    migrations = 0;
+    checkpoints = 0;
+  }
+
+let advance t ~now ~free ~queued_demand =
+  if not t.anchored then begin
+    (* The first advance anchors the span: the engine calls it on the
+       first job arrival. Earlier calls only refresh the snapshot. *)
+    t.anchored <- true;
+    t.start_time <- now;
+    t.last_time <- now
+  end
+  else begin
+    let dt = now -. t.last_time in
+    if dt > 0. then begin
+      let busy = t.nodes - t.cur_free in
+      t.busy_integral <- t.busy_integral +. (float_of_int busy *. dt);
+      let surplus = max 0 (t.cur_free - t.cur_demand) in
+      t.unused_integral <- t.unused_integral +. (float_of_int surplus *. dt);
+      t.last_time <- now
+    end
+  end;
+  t.cur_free <- free;
+  t.cur_demand <- queued_demand
+
+let record_completion t (job : Job.t) =
+  t.waits <- Job.wait_time job :: t.waits;
+  t.responses <- Job.response_time job :: t.responses;
+  t.slowdowns <- Job.bounded_slowdown ~tau:t.slowdown_tau job :: t.slowdowns
+
+let record_failure_event t = t.failures_injected <- t.failures_injected + 1
+
+let record_job_kill t ~lost_node_seconds =
+  t.job_kills <- t.job_kills + 1;
+  t.lost_work <- t.lost_work +. lost_node_seconds
+
+let record_migration t = t.migrations <- t.migrations + 1
+let record_checkpoint t = t.checkpoints <- t.checkpoints + 1
+
+type report = {
+  total_jobs : int;
+  completed_jobs : int;
+  avg_wait : float;
+  avg_response : float;
+  avg_bounded_slowdown : float;
+  median_bounded_slowdown : float;
+  p90_bounded_slowdown : float;
+  util : float;
+  unused : float;
+  lost : float;
+  busy_fraction : float;
+  makespan : float;
+  failures_injected : int;
+  job_kills : int;
+  restarts : int;
+  lost_work : float;
+  migrations : int;
+  checkpoints : int;
+}
+
+let report t ~jobs ~total_jobs =
+  let makespan = t.last_time -. t.start_time in
+  let capacity = makespan *. float_of_int t.nodes in
+  let useful =
+    List.fold_left
+      (fun acc (j : Job.t) -> acc +. (float_of_int j.spec.size *. j.spec.run_time))
+      0. jobs
+  in
+  let slow = Bgl_stats.Summary.of_list t.slowdowns in
+  let util = if capacity > 0. then useful /. capacity else 0. in
+  let unused = if capacity > 0. then t.unused_integral /. capacity else 0. in
+  {
+    total_jobs;
+    completed_jobs = List.length jobs;
+    avg_wait = Bgl_stats.Summary.mean t.waits;
+    avg_response = Bgl_stats.Summary.mean t.responses;
+    avg_bounded_slowdown = slow.mean;
+    median_bounded_slowdown = slow.median;
+    p90_bounded_slowdown = slow.p90;
+    util;
+    unused;
+    lost = 1. -. util -. unused;
+    busy_fraction = (if capacity > 0. then t.busy_integral /. capacity else 0.);
+    makespan;
+    failures_injected = t.failures_injected;
+    job_kills = t.job_kills;
+    restarts = List.fold_left (fun acc (j : Job.t) -> acc + j.restarts) 0 jobs;
+    lost_work = t.lost_work;
+    migrations = t.migrations;
+    checkpoints = t.checkpoints;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>jobs: %d/%d completed, makespan %.0f s@,\
+     wait %.1f s  response %.1f s  bounded slowdown avg %.2f (median %.2f, p90 %.2f)@,\
+     capacity: util %.4f  unused %.4f  lost %.4f  (busy %.4f)@,\
+     failures %d  kills %d  restarts %d  lost work %.3g node-s  migrations %d  checkpoints %d@]"
+    r.completed_jobs r.total_jobs r.makespan r.avg_wait r.avg_response r.avg_bounded_slowdown
+    r.median_bounded_slowdown r.p90_bounded_slowdown r.util r.unused r.lost r.busy_fraction
+    r.failures_injected r.job_kills r.restarts r.lost_work r.migrations r.checkpoints
+
+let report_to_csv_header =
+  "total_jobs,completed_jobs,avg_wait,avg_response,avg_bounded_slowdown,median_bounded_slowdown,p90_bounded_slowdown,util,unused,lost,busy_fraction,makespan,failures_injected,job_kills,restarts,lost_work,migrations,checkpoints"
+
+let report_to_csv_row r =
+  Printf.sprintf "%d,%d,%.3f,%.3f,%.4f,%.4f,%.4f,%.5f,%.5f,%.5f,%.5f,%.1f,%d,%d,%d,%.1f,%d,%d"
+    r.total_jobs r.completed_jobs r.avg_wait r.avg_response r.avg_bounded_slowdown
+    r.median_bounded_slowdown r.p90_bounded_slowdown r.util r.unused r.lost r.busy_fraction
+    r.makespan r.failures_injected r.job_kills r.restarts r.lost_work r.migrations r.checkpoints

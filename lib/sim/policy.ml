@@ -1,0 +1,23 @@
+open Bgl_torus
+
+type ctx = {
+  now : float;
+  grid : Grid.t;
+  mfp_before : int Lazy.t;
+  mfp_boxes : Box.t list Lazy.t;
+}
+
+type t = {
+  name : string;
+  choose :
+    ctx -> job:Bgl_trace.Job_log.job -> volume:int -> candidates:Box.t list -> Box.t option;
+}
+
+let make_ctx ~now grid =
+  let mfp_before = lazy (Bgl_partition.Mfp.volume grid) in
+  let mfp_boxes =
+    lazy
+      (let v = Lazy.force mfp_before in
+       if v = 0 then [] else Bgl_partition.Finder.find Bgl_partition.Finder.Prefix grid ~volume:v)
+  in
+  { now; grid; mfp_before; mfp_boxes }

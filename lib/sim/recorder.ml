@@ -1,0 +1,69 @@
+open Bgl_torus
+
+type entry =
+  | Job_started of { job : int; time : float; box : Box.t; restart : bool }
+  | Job_killed of { job : int; time : float; node : int; lost_node_seconds : float }
+  | Job_finished of { job : int; time : float }
+  | Job_migrated of { job : int; time : float; from_box : Box.t; to_box : Box.t }
+  | Node_failed of { time : float; node : int; victim : int option }
+  | Node_repaired of { time : float; node : int }
+
+type t = { mutable entries : entry list; mutable length : int }
+
+let create () = { entries = []; length = 0 }
+
+let record t entry =
+  t.entries <- entry :: t.entries;
+  t.length <- t.length + 1
+
+let entries t = List.rev t.entries
+let length t = t.length
+
+let starts_of t ~job =
+  List.filter_map
+    (function
+      | Job_started s when s.job = job -> Some (s.time, s.box)
+      | Job_started _ | Job_killed _ | Job_finished _ | Job_migrated _ | Node_failed _
+      | Node_repaired _ ->
+          None)
+    (entries t)
+
+let kills_of t ~job =
+  List.filter_map
+    (function
+      | Job_killed k when k.job = job -> Some (k.time, k.node)
+      | Job_started _ | Job_killed _ | Job_finished _ | Job_migrated _ | Node_failed _
+      | Node_repaired _ ->
+          None)
+    (entries t)
+
+let busiest_victim t =
+  let counts = Hashtbl.create 16 in
+  List.iter
+    (function
+      | Job_killed k ->
+          Hashtbl.replace counts k.job (1 + Option.value ~default:0 (Hashtbl.find_opt counts k.job))
+      | Job_started _ | Job_finished _ | Job_migrated _ | Node_failed _ | Node_repaired _ -> ())
+    (entries t);
+  Hashtbl.fold
+    (fun job kills best ->
+      match best with
+      | Some (_, best_kills) when best_kills >= kills -> best
+      | Some _ | None -> Some (job, kills))
+    counts None
+
+let pp_entry ppf = function
+  | Job_started s ->
+      Format.fprintf ppf "%10.1f  start   job %d on %a%s" s.time s.job Box.pp s.box
+        (if s.restart then " (restart)" else "")
+  | Job_killed k ->
+      Format.fprintf ppf "%10.1f  kill    job %d by node %d (lost %.3g node-s)" k.time k.job k.node
+        k.lost_node_seconds
+  | Job_finished f -> Format.fprintf ppf "%10.1f  finish  job %d" f.time f.job
+  | Job_migrated m ->
+      Format.fprintf ppf "%10.1f  migrate job %d %a -> %a" m.time m.job Box.pp m.from_box Box.pp
+        m.to_box
+  | Node_failed n ->
+      Format.fprintf ppf "%10.1f  failure node %d%s" n.time n.node
+        (match n.victim with Some j -> Format.asprintf " kills job %d" j | None -> " (idle)")
+  | Node_repaired n -> Format.fprintf ppf "%10.1f  repair  node %d" n.time n.node

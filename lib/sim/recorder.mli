@@ -1,0 +1,44 @@
+(** Execution-trace recording.
+
+    An optional observer the engine notifies on every job lifecycle
+    transition and failure injection. Downstream tooling replays the
+    entries to analyse schedules (Gantt-style reconstruction, kill
+    forensics, predictor post-mortems) without touching engine
+    internals; `examples/schedule_forensics.ml` and the predictor
+    evaluation tests are the in-repo consumers. *)
+
+open Bgl_torus
+
+type entry =
+  | Job_started of { job : int; time : float; box : Box.t; restart : bool }
+      (** [job] is the job id from the log (not the engine index). *)
+  | Job_killed of { job : int; time : float; node : int; lost_node_seconds : float }
+      (** [node] is the failed node that killed the job. *)
+  | Job_finished of { job : int; time : float }
+  | Job_migrated of { job : int; time : float; from_box : Box.t; to_box : Box.t }
+  | Node_failed of { time : float; node : int; victim : int option }
+      (** [victim] is the id of the job killed by this event, if any. *)
+  | Node_repaired of { time : float; node : int }
+
+type t
+
+val create : unit -> t
+
+val record : t -> entry -> unit
+(** Append an entry (engine-facing). *)
+
+val entries : t -> entry list
+(** All entries in recording order. *)
+
+val length : t -> int
+
+val starts_of : t -> job:int -> (float * Box.t) list
+(** Every (re)start of a job, in time order. *)
+
+val kills_of : t -> job:int -> (float * int) list
+(** Every kill of a job as [(time, node)]. *)
+
+val busiest_victim : t -> (int * int) option
+(** The job killed most often, as [(job, kills)]. *)
+
+val pp_entry : Format.formatter -> entry -> unit

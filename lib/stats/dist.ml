@@ -1,0 +1,64 @@
+let exponential rng ~rate =
+  if rate <= 0. then invalid_arg "Dist.exponential: rate must be positive";
+  (* 1 - u avoids log 0. *)
+  -.log (1. -. Rng.unit_float rng) /. rate
+
+let normal rng ~mean ~std =
+  let u1 = 1. -. Rng.unit_float rng in
+  let u2 = Rng.unit_float rng in
+  mean +. (std *. sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2))
+
+let lognormal rng ~mu ~sigma = exp (normal rng ~mean:mu ~std:sigma)
+
+let weibull rng ~shape ~scale =
+  if shape <= 0. || scale <= 0. then invalid_arg "Dist.weibull: parameters must be positive";
+  scale *. ((-.log (1. -. Rng.unit_float rng)) ** (1. /. shape))
+
+let pareto rng ~shape ~scale =
+  if shape <= 0. || scale <= 0. then invalid_arg "Dist.pareto: parameters must be positive";
+  scale /. ((1. -. Rng.unit_float rng) ** (1. /. shape))
+
+let geometric rng ~p =
+  if p <= 0. || p > 1. then invalid_arg "Dist.geometric: p must be in (0, 1]";
+  if p = 1. then 1
+  else
+    let u = 1. -. Rng.unit_float rng in
+    1 + int_of_float (Float.floor (log u /. log (1. -. p)))
+
+let poisson rng ~mean =
+  if mean < 0. then invalid_arg "Dist.poisson: mean must be non-negative";
+  if mean = 0. then 0
+  else if mean > 60. then
+    (* Normal approximation with continuity correction. *)
+    max 0 (int_of_float (Float.round (normal rng ~mean ~std:(sqrt mean))))
+  else
+    (* Knuth inversion. *)
+    let l = exp (-.mean) in
+    let rec loop k p =
+      let p = p *. Rng.unit_float rng in
+      if p <= l then k else loop (k + 1) p
+    in
+    loop 0 1.
+
+let zipf_weights ~n ~skew =
+  if n <= 0 then invalid_arg "Dist.zipf_weights: n must be positive";
+  let w = Array.init n (fun i -> 1. /. (float_of_int (i + 1) ** skew)) in
+  let total = Array.fold_left ( +. ) 0. w in
+  Array.map (fun x -> x /. total) w
+
+let categorical rng weights =
+  let total = Array.fold_left ( +. ) 0. weights in
+  if total <= 0. then invalid_arg "Dist.categorical: weights must include a positive entry";
+  let target = Rng.unit_float rng *. total in
+  let n = Array.length weights in
+  let rec scan i acc =
+    if i = n - 1 then i
+    else
+      let acc = acc +. weights.(i) in
+      if target < acc then i else scan (i + 1) acc
+  in
+  scan 0 0.
+
+let discrete rng pairs =
+  let idx = categorical rng (Array.map snd pairs) in
+  fst pairs.(idx)

@@ -1,0 +1,40 @@
+(** Samplers for the probability distributions used by the workload and
+    failure models. All samplers take an explicit {!Rng.t} so call
+    sites remain reproducible. *)
+
+val exponential : Rng.t -> rate:float -> float
+(** Exponential with the given rate (mean [1. /. rate]). [rate] must be
+    positive. *)
+
+val lognormal : Rng.t -> mu:float -> sigma:float -> float
+(** Log-normal: [exp (mu + sigma * N(0,1))]. The mean is
+    [exp (mu +. sigma ** 2. /. 2.)]. *)
+
+val normal : Rng.t -> mean:float -> std:float -> float
+(** Gaussian via Box–Muller. *)
+
+val weibull : Rng.t -> shape:float -> scale:float -> float
+(** Weibull; [shape < 1.] gives the heavy-tailed, bursty inter-arrival
+    behaviour observed in failure logs. *)
+
+val pareto : Rng.t -> shape:float -> scale:float -> float
+(** Pareto type I with minimum [scale]. *)
+
+val geometric : Rng.t -> p:float -> int
+(** Number of Bernoulli(p) trials up to and including the first
+    success; support is [{1, 2, ...}]. [p] must be in [(0, 1\]]. *)
+
+val poisson : Rng.t -> mean:float -> int
+(** Poisson by inversion for small means, with a normal approximation
+    above 60 to stay O(1). *)
+
+val zipf_weights : n:int -> skew:float -> float array
+(** [zipf_weights ~n ~skew] is the normalised Zipf pmf
+    [w.(i) ∝ 1 / (i+1)^skew] over [n] ranks. *)
+
+val categorical : Rng.t -> float array -> int
+(** Index drawn from unnormalised non-negative weights. At least one
+    weight must be positive. *)
+
+val discrete : Rng.t -> ('a * float) array -> 'a
+(** [discrete rng pairs] draws a value from weighted pairs. *)

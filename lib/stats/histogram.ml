@@ -1,0 +1,42 @@
+type t = {
+  lo : float;
+  hi : float;
+  width : float;
+  counts : int array;
+  mutable underflow : int;
+  mutable overflow : int;
+}
+
+let create ~lo ~hi ~bins =
+  if bins <= 0 then invalid_arg "Histogram.create: bins must be positive";
+  if not (lo < hi) then invalid_arg "Histogram.create: need lo < hi";
+  { lo; hi; width = (hi -. lo) /. float_of_int bins; counts = Array.make bins 0; underflow = 0; overflow = 0 }
+
+let add t x =
+  if x < t.lo then t.underflow <- t.underflow + 1
+  else if x >= t.hi then t.overflow <- t.overflow + 1
+  else begin
+    let i = int_of_float ((x -. t.lo) /. t.width) in
+    let i = min i (Array.length t.counts - 1) in
+    t.counts.(i) <- t.counts.(i) + 1
+  end
+
+let total t = t.underflow + t.overflow + Array.fold_left ( + ) 0 t.counts
+let counts t = Array.copy t.counts
+let underflow t = t.underflow
+let overflow t = t.overflow
+
+let bin_bounds t i =
+  if i < 0 || i >= Array.length t.counts then invalid_arg "Histogram.bin_bounds: index out of range";
+  (t.lo +. (float_of_int i *. t.width), t.lo +. (float_of_int (i + 1) *. t.width))
+
+let pp ppf t =
+  let max_count = Array.fold_left max 1 t.counts in
+  Array.iteri
+    (fun i c ->
+      let lo, hi = bin_bounds t i in
+      let bar = String.make (c * 40 / max_count) '#' in
+      Format.fprintf ppf "[%10.3g, %10.3g) %6d %s@." lo hi c bar)
+    t.counts;
+  if t.underflow > 0 then Format.fprintf ppf "underflow: %d@." t.underflow;
+  if t.overflow > 0 then Format.fprintf ppf "overflow: %d@." t.overflow

@@ -1,0 +1,24 @@
+(** Fixed-bin histograms, used by the trace-inspection tooling and by
+    tests that check distribution shapes. *)
+
+type t
+
+val create : lo:float -> hi:float -> bins:int -> t
+(** [create ~lo ~hi ~bins] covers [\[lo, hi)] with [bins] equal-width
+    bins plus underflow and overflow counters. [bins] must be positive
+    and [lo < hi]. *)
+
+val add : t -> float -> unit
+val total : t -> int
+
+val counts : t -> int array
+(** In-range bin counts, length [bins]. *)
+
+val underflow : t -> int
+val overflow : t -> int
+
+val bin_bounds : t -> int -> float * float
+(** [bin_bounds t i] is the half-open interval covered by bin [i]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Render as an ASCII bar chart, one line per bin. *)

@@ -1,0 +1,59 @@
+let statistic ~samples ~cdf =
+  let n = Array.length samples in
+  if n = 0 then invalid_arg "Ks.statistic: empty sample";
+  let sorted = Array.copy samples in
+  Array.sort compare sorted;
+  let d = ref 0. in
+  Array.iteri
+    (fun i x ->
+      let f = cdf x in
+      let lo = float_of_int i /. float_of_int n in
+      let hi = float_of_int (i + 1) /. float_of_int n in
+      d := Float.max !d (Float.max (abs_float (f -. lo)) (abs_float (hi -. f))))
+    sorted;
+  !d
+
+let p_value ~d ~n =
+  if n <= 0 then invalid_arg "Ks.p_value: n must be positive";
+  if d <= 0. then 1.
+  else if d >= 1. then 0.
+  else begin
+    (* Kolmogorov distribution with the Stephens finite-n correction. *)
+    let sqrt_n = sqrt (float_of_int n) in
+    let lambda = (sqrt_n +. 0.12 +. (0.11 /. sqrt_n)) *. d in
+    let sum = ref 0. in
+    for k = 1 to 100 do
+      let fk = float_of_int k in
+      sum := !sum +. ((-1.) ** (fk -. 1.) *. exp (-2. *. fk *. fk *. lambda *. lambda))
+    done;
+    Float.max 0. (Float.min 1. (2. *. !sum))
+  end
+
+let test ~samples ~cdf ~alpha =
+  let d = statistic ~samples ~cdf in
+  p_value ~d ~n:(Array.length samples) >= alpha
+
+let erf x =
+  (* Abramowitz & Stegun 7.1.26. *)
+  let sign = if x < 0. then -1. else 1. in
+  let x = abs_float x in
+  let t = 1. /. (1. +. (0.3275911 *. x)) in
+  let poly =
+    t
+    *. (0.254829592
+       +. (t *. (-0.284496736 +. (t *. (1.421413741 +. (t *. (-1.453152027 +. (t *. 1.061405429))))))))
+  in
+  sign *. (1. -. (poly *. exp (-.x *. x)))
+
+let normal_cdf ~mean ~std x =
+  if std <= 0. then invalid_arg "Ks.normal_cdf: std must be positive";
+  0.5 *. (1. +. erf ((x -. mean) /. (std *. sqrt 2.)))
+
+let lognormal_cdf ~mu ~sigma x =
+  if x <= 0. then 0. else normal_cdf ~mean:mu ~std:sigma (log x)
+
+let exponential_cdf ~rate x = if x <= 0. then 0. else 1. -. exp (-.rate *. x)
+
+let uniform_cdf ~lo ~hi x =
+  if not (lo < hi) then invalid_arg "Ks.uniform_cdf: need lo < hi";
+  if x <= lo then 0. else if x >= hi then 1. else (x -. lo) /. (hi -. lo)

@@ -1,0 +1,26 @@
+(** One-sample Kolmogorov–Smirnov goodness-of-fit testing.
+
+    Used to validate the synthetic workload and failure generators
+    against their target distributions: the tests assert that generated
+    runtimes are consistent with the profile's log-normal and that the
+    uniform-baseline failure times are consistent with uniformity. *)
+
+val statistic : samples:float array -> cdf:(float -> float) -> float
+(** The KS statistic D_n = sup |F_empirical − F|; [samples] need not be
+    sorted. The sample must be non-empty. *)
+
+val p_value : d:float -> n:int -> float
+(** Asymptotic two-sided p-value of D_n = [d] for sample size [n]
+    (Kolmogorov distribution via its alternating series). *)
+
+val test : samples:float array -> cdf:(float -> float) -> alpha:float -> bool
+(** [true] when the sample is {e consistent} with the distribution at
+    significance level [alpha] (i.e. p-value >= alpha). *)
+
+val erf : float -> float
+(** Error function (Abramowitz–Stegun 7.1.26, |error| < 1.5e-7). *)
+
+val normal_cdf : mean:float -> std:float -> float -> float
+val lognormal_cdf : mu:float -> sigma:float -> float -> float
+val exponential_cdf : rate:float -> float -> float
+val uniform_cdf : lo:float -> hi:float -> float -> float

@@ -1,0 +1,67 @@
+(* SplitMix64: Steele, Lea & Flood, "Fast splittable pseudorandom number
+   generators" (OOPSLA 2014). State advances by the golden-gamma
+   constant; output is a finalizing mix of the state. *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create ~seed = { state = mix (Int64.of_int seed) }
+
+let copy t = { state = t.state }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+(* FNV-1a over the label bytes, folded into the parent's next output. *)
+let split t ~label =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001b3L)
+    label;
+  { state = mix (Int64.logxor (bits64 t) !h) }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection-free for our purposes: 62 bits of entropy modulo bound has
+     negligible bias for the bounds used in this code base (< 2^32). The
+     shift by 2 keeps the value within OCaml's 63-bit non-negative
+     range. *)
+  let v = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
+  v mod bound
+
+let unit_float t =
+  (* 53 random bits scaled into [0, 1). *)
+  let v = Int64.to_int (Int64.shift_right_logical (bits64 t) 11) in
+  float_of_int v *. 0x1.0p-53
+
+let float t bound = unit_float t *. bound
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose t a =
+  if Array.length a = 0 then invalid_arg "Rng.choose: empty array";
+  a.(int t (Array.length a))
+
+let hash_float ~seed a b =
+  let z = Int64.of_int seed in
+  let z = mix (Int64.add z (Int64.mul golden_gamma (Int64.of_int (a + 0x9e3779b9)))) in
+  let z = mix (Int64.add z (Int64.mul golden_gamma (Int64.of_int (b + 0x85ebca6b)))) in
+  let v = Int64.to_int (Int64.shift_right_logical z 11) in
+  float_of_int v *. 0x1.0p-53

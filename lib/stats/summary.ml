@@ -1,0 +1,73 @@
+type t = {
+  count : int;
+  mean : float;
+  std : float;
+  min : float;
+  max : float;
+  median : float;
+  p90 : float;
+  p99 : float;
+}
+
+let empty = { count = 0; mean = 0.; std = 0.; min = 0.; max = 0.; median = 0.; p90 = 0.; p99 = 0. }
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then invalid_arg "Summary.percentile: empty sample";
+  if q < 0. || q > 1. then invalid_arg "Summary.percentile: q out of [0, 1]";
+  if n = 1 then sorted.(0)
+  else
+    let pos = q *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor pos) in
+    let hi = min (lo + 1) (n - 1) in
+    let frac = pos -. float_of_int lo in
+    sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+
+let of_array a =
+  let n = Array.length a in
+  if n = 0 then empty
+  else begin
+    let sorted = Array.copy a in
+    Array.sort compare sorted;
+    let total = Array.fold_left ( +. ) 0. a in
+    let mean = total /. float_of_int n in
+    let sq = Array.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.)) 0. a in
+    {
+      count = n;
+      mean;
+      std = (if n < 2 then 0. else sqrt (sq /. float_of_int n));
+      min = sorted.(0);
+      max = sorted.(n - 1);
+      median = percentile sorted 0.5;
+      p90 = percentile sorted 0.9;
+      p99 = percentile sorted 0.99;
+    }
+  end
+
+let of_list l = of_array (Array.of_list l)
+
+let mean l =
+  match l with
+  | [] -> 0.
+  | _ -> List.fold_left ( +. ) 0. l /. float_of_int (List.length l)
+
+let pp ppf t =
+  Format.fprintf ppf "n=%d mean=%.4g std=%.4g min=%.4g med=%.4g p90=%.4g p99=%.4g max=%.4g"
+    t.count t.mean t.std t.min t.median t.p90 t.p99 t.max
+
+module Online = struct
+  type acc = { mutable n : int; mutable mean : float; mutable m2 : float }
+
+  let create () = { n = 0; mean = 0.; m2 = 0. }
+
+  let add acc x =
+    acc.n <- acc.n + 1;
+    let delta = x -. acc.mean in
+    acc.mean <- acc.mean +. (delta /. float_of_int acc.n);
+    acc.m2 <- acc.m2 +. (delta *. (x -. acc.mean))
+
+  let count acc = acc.n
+  let mean acc = if acc.n = 0 then 0. else acc.mean
+  let variance acc = if acc.n < 2 then 0. else acc.m2 /. float_of_int acc.n
+  let std acc = sqrt (variance acc)
+end

@@ -1,0 +1,40 @@
+(** Descriptive statistics over float samples, used by the metrics
+    layer and by the report renderers. *)
+
+type t = {
+  count : int;
+  mean : float;
+  std : float;  (** population standard deviation; 0 for count < 2 *)
+  min : float;
+  max : float;
+  median : float;
+  p90 : float;
+  p99 : float;
+}
+
+val empty : t
+(** All-zero summary for an empty sample. *)
+
+val of_list : float list -> t
+val of_array : float array -> t
+
+val mean : float list -> float
+(** Arithmetic mean; 0 for the empty list. *)
+
+val percentile : float array -> float -> float
+(** [percentile sorted q] with [q] in [\[0, 1\]], by linear
+    interpolation. The array must be sorted ascending and non-empty. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** Online mean/variance accumulator (Welford). *)
+module Online : sig
+  type acc
+
+  val create : unit -> acc
+  val add : acc -> float -> unit
+  val count : acc -> int
+  val mean : acc -> float
+  val variance : acc -> float
+  val std : acc -> float
+end

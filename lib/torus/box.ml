@@ -1,0 +1,64 @@
+type t = { base : Coord.t; shape : Shape.t }
+
+let make base shape = { base; shape }
+let volume t = Shape.volume t.shape
+
+let cells (d : Dims.t) t =
+  assert (Coord.in_bounds d t.base);
+  assert (Shape.fits d t.shape);
+  let acc = ref [] in
+  for dz = t.shape.sz - 1 downto 0 do
+    for dy = t.shape.sy - 1 downto 0 do
+      for dx = t.shape.sx - 1 downto 0 do
+        let c = Coord.make (t.base.x + dx) (t.base.y + dy) (t.base.z + dz) in
+        acc := Coord.wrap d c :: !acc
+      done
+    done
+  done;
+  !acc
+
+let indices d t = List.map (Coord.index d) (cells d t)
+
+let canonical (d : Dims.t) ~wrap t =
+  if not wrap then t
+  else
+    let base =
+      Coord.make
+        (if t.shape.sx = d.nx then 0 else t.base.x)
+        (if t.shape.sy = d.ny then 0 else t.base.y)
+        (if t.shape.sz = d.nz then 0 else t.base.z)
+    in
+    { t with base }
+
+(* One-dimensional interval overlap on a ring of size n: the interval
+   [b, b+s) taken modulo n. *)
+let ring_overlap n b1 s1 b2 s2 =
+  if s1 >= n || s2 >= n then true
+  else
+    let covered1 = Array.make n false in
+    for i = 0 to s1 - 1 do
+      covered1.((b1 + i) mod n) <- true
+    done;
+    let rec scan i = i < s2 && (covered1.((b2 + i) mod n) || scan (i + 1)) in
+    scan 0
+
+let overlap (d : Dims.t) a b =
+  ring_overlap d.nx a.base.x a.shape.sx b.base.x b.shape.sx
+  && ring_overlap d.ny a.base.y a.shape.sy b.base.y b.shape.sy
+  && ring_overlap d.nz a.base.z a.shape.sz b.base.z b.shape.sz
+
+let ring_member n b s v =
+  let off = ((v - b) mod n + n) mod n in
+  off < s
+
+let member (d : Dims.t) t (c : Coord.t) =
+  ring_member d.nx t.base.x t.shape.sx c.x
+  && ring_member d.ny t.base.y t.shape.sy c.y
+  && ring_member d.nz t.base.z t.shape.sz c.z
+
+let equal a b = Coord.equal a.base b.base && Shape.equal a.shape b.shape
+
+let compare a b =
+  match Coord.compare a.base b.base with 0 -> Shape.compare a.shape b.shape | c -> c
+
+let pp ppf t = Format.fprintf ppf "%a@%a" Shape.pp t.shape Coord.pp t.base

@@ -1,0 +1,28 @@
+type t = { x : int; y : int; z : int }
+
+let make x y z = { x; y; z }
+
+let in_bounds (d : Dims.t) c =
+  c.x >= 0 && c.x < d.nx && c.y >= 0 && c.y < d.ny && c.z >= 0 && c.z < d.nz
+
+(* (a mod b + b) mod b handles negative components. *)
+let pos_mod a b = ((a mod b) + b) mod b
+
+let wrap (d : Dims.t) c = { x = pos_mod c.x d.nx; y = pos_mod c.y d.ny; z = pos_mod c.z d.nz }
+
+let index (d : Dims.t) c =
+  assert (in_bounds d c);
+  c.x + (d.nx * (c.y + (d.ny * c.z)))
+
+let of_index (d : Dims.t) i =
+  if i < 0 || i >= Dims.volume d then invalid_arg "Coord.of_index: out of range";
+  { x = i mod d.nx; y = i / d.nx mod d.ny; z = i / (d.nx * d.ny) }
+
+let equal a b = a.x = b.x && a.y = b.y && a.z = b.z
+
+let compare a b =
+  match Int.compare a.z b.z with
+  | 0 -> ( match Int.compare a.y b.y with 0 -> Int.compare a.x b.x | c -> c)
+  | c -> c
+
+let pp ppf c = Format.fprintf ppf "(%d,%d,%d)" c.x c.y c.z

@@ -1,0 +1,26 @@
+(** Supernode coordinates and their linearisation.
+
+    A coordinate addresses one supernode. The linear index is
+    [x + nx * (y + ny * z)]; failure traces and the occupancy grid use
+    linear indices, the geometric algorithms use coordinates. *)
+
+type t = { x : int; y : int; z : int }
+
+val make : int -> int -> int -> t
+
+val in_bounds : Dims.t -> t -> bool
+(** Whether each component is within [\[0, dim)]. *)
+
+val wrap : Dims.t -> t -> t
+(** Reduce each component modulo the corresponding dimension (torus
+    wraparound); the result is always in bounds. *)
+
+val index : Dims.t -> t -> int
+(** Linear index of an in-bounds coordinate. *)
+
+val of_index : Dims.t -> int -> t
+(** Inverse of {!index}. The index must be in [\[0, volume)]. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,20 @@
+type t = { nx : int; ny : int; nz : int }
+
+let make nx ny nz =
+  if nx <= 0 || ny <= 0 || nz <= 0 then invalid_arg "Dims.make: dimensions must be positive";
+  { nx; ny; nz }
+
+let bgl = make 4 4 8
+let volume t = t.nx * t.ny * t.nz
+let max_dim t = max t.nx (max t.ny t.nz)
+let equal a b = a.nx = b.nx && a.ny = b.ny && a.nz = b.nz
+let pp ppf t = Format.fprintf ppf "%dx%dx%d" t.nx t.ny t.nz
+let to_string t = Format.asprintf "%a" pp t
+
+let of_string s =
+  match String.split_on_char 'x' (String.lowercase_ascii (String.trim s)) with
+  | [ a; b; c ] -> (
+      match (int_of_string_opt a, int_of_string_opt b, int_of_string_opt c) with
+      | Some nx, Some ny, Some nz when nx > 0 && ny > 0 && nz > 0 -> Ok (make nx ny nz)
+      | _ -> Error (Printf.sprintf "invalid dimensions %S (expected e.g. 4x4x8)" s))
+  | _ -> Error (Printf.sprintf "invalid dimensions %S (expected e.g. 4x4x8)" s)

@@ -1,0 +1,26 @@
+(** Dimensions of a three-dimensional torus of supernodes.
+
+    The job scheduler sees BlueGene/L as a 4×4×8 torus of 128
+    supernodes (Section 3.1 of the paper); {!bgl} is that machine.
+    All torus code is parametric in the dimensions so tests and benches
+    can use other machine sizes. *)
+
+type t = private { nx : int; ny : int; nz : int }
+
+val make : int -> int -> int -> t
+(** [make nx ny nz]. All dimensions must be positive. *)
+
+val bgl : t
+(** The 4×4×8 supernode torus of BlueGene/L. *)
+
+val volume : t -> int
+(** Total number of supernodes, [nx * ny * nz]. *)
+
+val max_dim : t -> int
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val of_string : string -> (t, string) result
+(** Parses ["4x4x8"]. *)

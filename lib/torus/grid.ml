@@ -1,0 +1,78 @@
+type t = { dims : Dims.t; wrap : bool; cells : int array; mutable free : int }
+
+let free_marker = -1
+let down_owner = -2
+
+let create ?(wrap = true) dims =
+  let n = Dims.volume dims in
+  { dims; wrap; cells = Array.make n free_marker; free = n }
+
+let dims t = t.dims
+let wrap t = t.wrap
+let copy t = { t with cells = Array.copy t.cells }
+let volume t = Dims.volume t.dims
+let free_count t = t.free
+let busy_count t = volume t - t.free
+let owner t node = if t.cells.(node) = free_marker then None else Some t.cells.(node)
+let is_free t node = t.cells.(node) = free_marker
+
+let box_is_free t box = List.for_all (is_free t) (Box.indices t.dims box)
+
+let occupy_node t node ~owner =
+  if owner < 0 && owner <> down_owner then invalid_arg "Grid.occupy_node: invalid owner id";
+  if t.cells.(node) <> free_marker then
+    invalid_arg
+      (Printf.sprintf "Grid.occupy_node: node %d already owned by %d" node t.cells.(node));
+  t.cells.(node) <- owner;
+  t.free <- t.free - 1
+
+let vacate_node t node ~owner =
+  if t.cells.(node) <> owner then
+    invalid_arg
+      (Printf.sprintf "Grid.vacate_node: node %d owned by %d, not %d" node t.cells.(node) owner);
+  t.cells.(node) <- free_marker;
+  t.free <- t.free + 1
+
+let occupy t box ~owner =
+  let idx = Box.indices t.dims box in
+  (* Validate first so a failed claim leaves the grid unchanged. *)
+  List.iter
+    (fun node ->
+      if t.cells.(node) <> free_marker then
+        invalid_arg (Printf.sprintf "Grid.occupy: node %d already owned" node))
+    idx;
+  List.iter (fun node -> occupy_node t node ~owner) idx
+
+let vacate t box ~owner =
+  let idx = Box.indices t.dims box in
+  List.iter
+    (fun node ->
+      if t.cells.(node) <> owner then
+        invalid_arg (Printf.sprintf "Grid.vacate: node %d not owned by %d" node owner))
+    idx;
+  List.iter (fun node -> vacate_node t node ~owner) idx
+
+let iter_owned t f =
+  Array.iteri (fun node o -> if o <> free_marker then f node o) t.cells
+
+let owners t =
+  let tbl = Hashtbl.create 16 in
+  iter_owned t (fun _ o -> Hashtbl.replace tbl o ());
+  Hashtbl.fold (fun o () acc -> o :: acc) tbl [] |> List.sort Int.compare
+
+let pp ppf t =
+  let d = t.dims in
+  let glyph o =
+    if o = free_marker then '.'
+    else if o = down_owner then '!'
+    else Char.chr (Char.code 'A' + (o mod 26))
+  in
+  for z = 0 to d.nz - 1 do
+    Format.fprintf ppf "z=%d@." z;
+    for y = d.ny - 1 downto 0 do
+      for x = 0 to d.nx - 1 do
+        Format.fprintf ppf "%c" (glyph t.cells.(Coord.index d (Coord.make x y z)))
+      done;
+      Format.fprintf ppf "@."
+    done
+  done

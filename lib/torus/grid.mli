@@ -1,0 +1,55 @@
+(** Mutable occupancy state of the torus.
+
+    Each supernode is either free or owned by an integer owner id —
+    a job id, or a sentinel such as {!down_owner} for a node held out
+    of service. The grid enforces the space-sharing constraint: a node
+    can never be claimed while already owned (Section 3.3, "only one
+    job may run on a given node at a time"). *)
+
+type t
+
+val down_owner : int
+(** Reserved owner id marking a node as unavailable (repair downtime
+    extension). Job ids must be non-negative; [down_owner] is negative
+    and distinct from the free marker. *)
+
+val create : ?wrap:bool -> Dims.t -> t
+(** A fully free grid. [wrap] (default [true]) selects whether boxes
+    may use torus wraparound; it is consulted by the finders through
+    {!wrap}. *)
+
+val dims : t -> Dims.t
+val wrap : t -> bool
+val copy : t -> t
+
+val volume : t -> int
+val free_count : t -> int
+val busy_count : t -> int
+
+val owner : t -> int -> int option
+(** [owner t node] is [Some id] if the node (linear index) is owned. *)
+
+val is_free : t -> int -> bool
+
+val box_is_free : t -> Box.t -> bool
+(** Whether every node of the box is free. *)
+
+val occupy : t -> Box.t -> owner:int -> unit
+(** Claim every node of the box for [owner].
+    @raise Invalid_argument if any node is already owned. *)
+
+val vacate : t -> Box.t -> owner:int -> unit
+(** Release every node of the box.
+    @raise Invalid_argument if some node is not owned by [owner]. *)
+
+val occupy_node : t -> int -> owner:int -> unit
+val vacate_node : t -> int -> owner:int -> unit
+
+val iter_owned : t -> (int -> int -> unit) -> unit
+(** [iter_owned t f] calls [f node owner] for every owned node. *)
+
+val owners : t -> int list
+(** Sorted distinct owner ids present in the grid. *)
+
+val pp : Format.formatter -> t -> unit
+(** z-layer by z-layer ASCII rendering ('.' free, letters for owners). *)

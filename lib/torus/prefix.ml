@@ -1,0 +1,65 @@
+(* The table is a cumulative count over an extended array: every
+   dimension with wraparound is doubled so a wrapped box becomes an
+   ordinary box in the extended space (its base is in the original
+   bounds and extents are at most the dimension, so base + extent fits
+   in twice the dimension). *)
+
+type t = {
+  dims : Dims.t;
+  ex : int;
+  ey : int;
+  ez : int;
+  (* cum.(i + (ex+1) * (j + (ey+1) * k)) = #occupied in [0,i) x [0,j) x [0,k) of
+     the extended space. *)
+  cum : int array;
+}
+
+let build grid =
+  let d = Grid.dims grid in
+  let wrap = Grid.wrap grid in
+  let ex = if wrap then 2 * d.nx else d.nx in
+  let ey = if wrap then 2 * d.ny else d.ny in
+  let ez = if wrap then 2 * d.nz else d.nz in
+  let stride_y = ex + 1 in
+  let stride_z = stride_y * (ey + 1) in
+  let cum = Array.make (stride_z * (ez + 1)) 0 in
+  (* Hot path for the schedulers: plain index arithmetic, occupancy read
+     once per original cell. *)
+  let occ = Array.make (d.nx * d.ny * d.nz) 0 in
+  for node = 0 to Array.length occ - 1 do
+    if not (Grid.is_free grid node) then occ.(node) <- 1
+  done;
+  for k = 1 to ez do
+    let zoff = d.nx * d.ny * ((k - 1) mod d.nz) in
+    let row_k = stride_z * k and row_k1 = stride_z * (k - 1) in
+    for j = 1 to ey do
+      let yoff = zoff + (d.nx * ((j - 1) mod d.ny)) in
+      let row_kj = row_k + (stride_y * j)
+      and row_kj1 = row_k + (stride_y * (j - 1))
+      and row_k1j = row_k1 + (stride_y * j)
+      and row_k1j1 = row_k1 + (stride_y * (j - 1)) in
+      for i = 1 to ex do
+        cum.(i + row_kj) <-
+          occ.(yoff + ((i - 1) mod d.nx))
+          + cum.(i - 1 + row_kj) + cum.(i + row_kj1) + cum.(i + row_k1j)
+          - cum.(i - 1 + row_kj1) - cum.(i - 1 + row_k1j) - cum.(i + row_k1j1)
+          + cum.(i - 1 + row_k1j1)
+      done
+    done
+  done;
+  { dims = d; ex; ey; ez; cum }
+
+let occupied_in_box t (box : Box.t) =
+  let b = box.base and s = box.shape in
+  let x1 = b.x + s.sx and y1 = b.y + s.sy and z1 = b.z + s.sz in
+  if x1 > t.ex || y1 > t.ey || z1 > t.ez then
+    invalid_arg "Prefix.occupied_in_box: box exceeds table (wraparound disabled?)";
+  let stride_y = t.ex + 1 in
+  let stride_z = stride_y * (t.ey + 1) in
+  let at i j k = t.cum.(i + (stride_y * j) + (stride_z * k)) in
+  at x1 y1 z1
+  - at b.x y1 z1 - at x1 b.y z1 - at x1 y1 b.z
+  + at b.x b.y z1 + at b.x y1 b.z + at x1 b.y b.z
+  - at b.x b.y b.z
+
+let box_is_free t box = occupied_in_box t box = 0

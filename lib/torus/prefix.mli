@@ -1,0 +1,20 @@
+(** Three-dimensional summed-area table over the occupancy grid.
+
+    Building the table costs O(volume) (O(8·volume) with wraparound,
+    because every wrapping dimension is virtually doubled); afterwards
+    the number of occupied nodes in any box — wrapped or not — is read
+    in O(1). This is what turns the shape-driven partition finder of
+    the paper's Appendix into the O(1)-per-candidate {!Finder.prefix}
+    variant and makes maximal-free-partition search cheap enough to
+    evaluate for every candidate placement. *)
+
+type t
+
+val build : Grid.t -> t
+(** Snapshot the grid's occupancy. The table does not track later
+    mutations; rebuild after the grid changes. *)
+
+val occupied_in_box : t -> Box.t -> int
+(** Number of occupied nodes inside the box. *)
+
+val box_is_free : t -> Box.t -> bool

@@ -1,0 +1,29 @@
+type t = { sx : int; sy : int; sz : int }
+
+let make sx sy sz =
+  if sx <= 0 || sy <= 0 || sz <= 0 then invalid_arg "Shape.make: extents must be positive";
+  { sx; sy; sz }
+
+let volume t = t.sx * t.sy * t.sz
+let fits (d : Dims.t) t = t.sx <= d.nx && t.sy <= d.ny && t.sz <= d.nz
+let equal a b = a.sx = b.sx && a.sy = b.sy && a.sz = b.sz
+
+let compare a b =
+  match Int.compare a.sx b.sx with
+  | 0 -> ( match Int.compare a.sy b.sy with 0 -> Int.compare a.sz b.sz | c -> c)
+  | c -> c
+
+let rotations t =
+  let all =
+    [
+      (t.sx, t.sy, t.sz);
+      (t.sx, t.sz, t.sy);
+      (t.sy, t.sx, t.sz);
+      (t.sy, t.sz, t.sx);
+      (t.sz, t.sx, t.sy);
+      (t.sz, t.sy, t.sx);
+    ]
+  in
+  List.sort_uniq Stdlib.compare all |> List.map (fun (a, b, c) -> make a b c)
+
+let pp ppf t = Format.fprintf ppf "%dx%dx%d" t.sx t.sy t.sz

@@ -1,0 +1,23 @@
+(** Shapes of rectangular partitions.
+
+    A shape is the extent of a box along each axis. Partitions on BG/L
+    must be contiguous and rectangular (Section 3.3), so a job of size
+    [s] can only occupy boxes whose shape has volume [s] and fits in
+    the torus. *)
+
+type t = { sx : int; sy : int; sz : int }
+
+val make : int -> int -> int -> t
+(** All extents must be positive. *)
+
+val volume : t -> int
+
+val fits : Dims.t -> t -> bool
+(** Whether each extent is at most the corresponding torus dimension. *)
+
+val rotations : t -> t list
+(** The distinct axis permutations of a shape (1, 3 or 6 entries). *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

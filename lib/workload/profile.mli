@@ -1,0 +1,64 @@
+(** Statistical profiles of the supercomputer workloads used in the
+    paper.
+
+    The archive logs themselves are not redistributable inside this
+    repository, so each profile captures the published marginal
+    statistics of one log — job-size mix, runtime distribution,
+    runtime-estimate inflation, arrival burstiness — and the generator
+    ({!Synthetic}) draws a log from the profile. See DESIGN.md
+    ("Substitutions") for why this preserves the paper's conclusions.
+
+    Sizes are in nodes of the simulated machine; a profile whose source
+    machine was larger than the target torus is rescaled at generation
+    time. *)
+
+type t = {
+  name : string;
+  machine_nodes : int;  (** node count of the source machine *)
+  size_mix : (int * float) array;  (** (nodes, weight), weights > 0 *)
+  runtime_mu : float;  (** lognormal location of runtime, ln-seconds *)
+  runtime_sigma : float;  (** lognormal scale of runtime *)
+  runtime_min : float;  (** floor, seconds *)
+  runtime_cap : float;  (** ceiling, seconds *)
+  estimate_inflation_mu : float;
+      (** lognormal location of (estimate / runtime - 1); estimates are
+          always >= the actual runtime *)
+  estimate_inflation_sigma : float;
+  exact_estimate_prob : float;  (** fraction of users asking exactly the runtime *)
+  diurnal_amplitude : float;  (** 0 = flat arrivals, 1 = full day/night swing *)
+  target_util : float;  (** offered load at load scale c = 1 *)
+  source_jobs : int;
+      (** approximate job count of the real archive log; the experiment
+          layer scales the paper's failure counts by
+          [n_jobs / source_jobs] to preserve failures-per-job *)
+  paper_failures : int;
+      (** the failure count the paper pairs with this log (Section
+          6.2): 4000 for NASA and SDSC, 1000 for LLNL *)
+}
+
+val nasa : t
+(** NASA Ames iPSC/860, 1993: 128 nodes, power-of-two sizes only, a
+    large population of sequential (1-node) jobs, short runtimes. *)
+
+val sdsc : t
+(** SDSC IBM SP, 1998–2000: 128 nodes, mixed sizes with power-of-two
+    spikes, heavy-tailed runtimes. The paper's primary log. *)
+
+val llnl : t
+(** LLNL Cray T3D, 1996: 256 nodes, gang-scheduled powers of two from
+    32 up, long runtimes. *)
+
+val all : t list
+val by_name : string -> t option
+(** Case-insensitive lookup of ["nasa"], ["sdsc"], ["llnl"]. *)
+
+val mean_runtime : t -> float
+(** Analytic mean of the (uncapped) runtime distribution. *)
+
+val mean_size : t -> max_nodes:int -> float
+(** Mean of the size mix, after rescaling to [max_nodes]. *)
+
+val sizes_for : t -> max_nodes:int -> (int * float) array
+(** The size mix rescaled so no job exceeds [max_nodes]: sizes are
+    divided by [machine_nodes / max_nodes] (at least 1) and clamped to
+    [\[1, max_nodes\]], merging weights of collapsed sizes. *)

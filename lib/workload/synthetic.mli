@@ -1,0 +1,22 @@
+(** Synthetic job-log generation from a {!Profile}.
+
+    Arrivals are a diurnally modulated Poisson process whose base rate
+    is solved so the log's offered load on the target machine matches
+    the profile's [target_util] in expectation; sizes and runtimes are
+    drawn independently from the profile's marginals. Everything is a
+    deterministic function of the seed. *)
+
+type spec = {
+  profile : Profile.t;
+  n_jobs : int;
+  max_nodes : int;  (** machine size jobs must fit (128 for BG/L supernodes) *)
+  seed : int;
+}
+
+val generate : spec -> Bgl_trace.Job_log.t
+(** A log of exactly [n_jobs] jobs sorted by arrival, every job sized
+    within [\[1, max_nodes\]], runtimes within the profile's
+    [\[runtime_min, runtime_cap\]], estimates [>=] runtimes. *)
+
+val arrival_rate : Profile.t -> max_nodes:int -> float
+(** The solved base arrival rate (jobs/second) for [target_util]. *)

@@ -1,0 +1,140 @@
+(* Tests for the synthetic failure-trace generator. *)
+
+open Bgl_failure
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let spec ?(n_events = 400) ?(span = 1e6) ?(volume = 128) ?(seed = 5) () =
+  Generator.default ~span ~volume ~n_events ~seed
+
+let test_exact_count () =
+  List.iter
+    (fun n ->
+      check_int
+        (Printf.sprintf "exactly %d events" n)
+        n
+        (Bgl_trace.Failure_log.length (Generator.generate (spec ~n_events:n ()))))
+    [ 0; 1; 7; 400 ]
+
+let test_within_span () =
+  let log = Generator.generate (spec ()) in
+  Array.iter
+    (fun (e : Bgl_trace.Failure_log.event) ->
+      check_bool "time in [0, span]" true (e.time >= 0. && e.time <= 1e6))
+    log.events
+
+let test_nodes_within_volume () =
+  let log = Generator.generate (spec ~volume:16 ()) in
+  check_bool "nodes < 16" true (List.for_all (fun n -> n >= 0 && n < 16) (Bgl_trace.Failure_log.nodes log))
+
+let test_deterministic () =
+  let a = Generator.generate (spec ()) in
+  let b = Generator.generate (spec ()) in
+  check_bool "same seed same trace" true (a.events = b.events);
+  let c = Generator.generate (spec ~seed:6 ()) in
+  check_bool "different seed differs" false (a.events = c.events)
+
+let test_node_skew () =
+  (* With Zipf skew, the busiest node should soak up far more than the
+     uniform share of events. *)
+  let log = Generator.generate (spec ~n_events:2000 ()) in
+  let counts = Array.make 128 0 in
+  Array.iter (fun (e : Bgl_trace.Failure_log.event) -> counts.(e.node) <- counts.(e.node) + 1) log.events;
+  let max_count = Array.fold_left max 0 counts in
+  let uniform_share = 2000 / 128 in
+  check_bool
+    (Printf.sprintf "max node count %d >> uniform %d" max_count uniform_share)
+    true
+    (max_count > 4 * uniform_share)
+
+let test_uniform_baseline_not_skewed () =
+  let log = Generator.poisson_uniform ~span:1e6 ~volume:128 ~n_events:2000 ~seed:5 in
+  let counts = Array.make 128 0 in
+  Array.iter (fun (e : Bgl_trace.Failure_log.event) -> counts.(e.node) <- counts.(e.node) + 1) log.events;
+  let max_count = Array.fold_left max 0 counts in
+  check_bool "uniform stays near uniform" true (max_count < 3 * (2000 / 128))
+
+let test_burstiness () =
+  (* Bursty traces have many near-simultaneous pairs; a uniform trace
+     over the same span essentially none. Count consecutive gaps under
+     a minute. *)
+  let close_pairs (log : Bgl_trace.Failure_log.t) =
+    let n = Bgl_trace.Failure_log.length log in
+    let count = ref 0 in
+    for i = 1 to n - 1 do
+      if log.events.(i).time -. log.events.(i - 1).time < 60. then incr count
+    done;
+    !count
+  in
+  let bursty = close_pairs (Generator.generate (spec ~n_events:500 ())) in
+  let uniform = close_pairs (Generator.poisson_uniform ~span:1e6 ~volume:128 ~n_events:500 ~seed:5) in
+  check_bool
+    (Printf.sprintf "bursty %d >> uniform %d" bursty uniform)
+    true
+    (bursty > (3 * uniform) + 20)
+
+let test_uniform_times_pass_ks () =
+  (* The uniform baseline's event times must be consistent with
+     U(0, span); the bursty generator's must not. *)
+  let times log =
+    Array.map (fun (e : Bgl_trace.Failure_log.event) -> e.time) log.Bgl_trace.Failure_log.events
+  in
+  let uniform = Generator.poisson_uniform ~span:1e6 ~volume:128 ~n_events:800 ~seed:9 in
+  check_bool "uniform passes" true
+    (Bgl_stats.Ks.test ~samples:(times uniform) ~cdf:(Bgl_stats.Ks.uniform_cdf ~lo:0. ~hi:1e6)
+       ~alpha:0.01);
+  let bursty = Generator.generate (spec ~n_events:800 ~seed:9 ()) in
+  (* bursty times are still roughly uniform at burst level, but the
+     within-burst clustering shows up in the KS distance; assert only
+     that the uniform trace is at least as close to uniformity *)
+  let d log = Bgl_stats.Ks.statistic ~samples:(times log) ~cdf:(Bgl_stats.Ks.uniform_cdf ~lo:0. ~hi:1e6) in
+  check_bool "bursty is no closer to uniform" true (d bursty >= d uniform -. 0.01)
+
+let test_validation () =
+  let invalid s msg =
+    check_bool msg true
+      (try
+         ignore (Generator.generate s);
+         false
+       with Invalid_argument _ -> true)
+  in
+  invalid { (spec ()) with span = 0. } "zero span";
+  invalid { (spec ()) with volume = 0 } "zero volume";
+  invalid { (spec ()) with n_events = -1 } "negative events";
+  invalid { (spec ()) with burst_mean_size = 0.5 } "burst < 1";
+  invalid { (spec ()) with node_skew = -1. } "negative skew"
+
+(* ------------------------------------------------------------------ *)
+
+let prop_generator_invariants =
+  QCheck.Test.make ~name:"generator count/span/node invariants" ~count:50
+    QCheck.(triple (int_range 0 300) (int_range 1 64) small_int)
+    (fun (n_events, volume, seed) ->
+      let log = Generator.generate (Generator.default ~span:1e5 ~volume ~n_events ~seed) in
+      Bgl_trace.Failure_log.length log = n_events
+      && Array.for_all
+           (fun (e : Bgl_trace.Failure_log.event) ->
+             e.time >= 0. && e.time <= 1e5 && e.node >= 0 && e.node < volume)
+           log.events)
+
+let props = List.map QCheck_alcotest.to_alcotest [ prop_generator_invariants ]
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "bgl_failure"
+    [
+      ( "generator",
+        [
+          tc "exact count" test_exact_count;
+          tc "within span" test_within_span;
+          tc "nodes within volume" test_nodes_within_volume;
+          tc "deterministic" test_deterministic;
+          tc "node skew" test_node_skew;
+          tc "uniform baseline" test_uniform_baseline_not_skewed;
+          tc "burstiness" test_burstiness;
+          tc "uniform KS" test_uniform_times_pass_ks;
+          tc "validation" test_validation;
+        ] );
+      ("properties", props);
+    ]

@@ -1,0 +1,356 @@
+(* Unit and property tests for the partition finders and MFP. *)
+
+open Bgl_torus
+open Bgl_partition
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let box_t = Alcotest.testable Box.pp Box.equal
+let boxes = Alcotest.(list box_t)
+
+(* ------------------------------------------------------------------ *)
+(* Shapes *)
+
+let test_divisors () =
+  Alcotest.(check (list int)) "12" [ 1; 2; 3; 4; 6; 12 ] (Shapes.divisors 12);
+  Alcotest.(check (list int)) "1" [ 1 ] (Shapes.divisors 1);
+  Alcotest.(check (list int)) "prime" [ 1; 13 ] (Shapes.divisors 13);
+  Alcotest.(check (list int)) "square" [ 1; 2; 4; 8; 16 ] (Shapes.divisors 16)
+
+let test_divisors_invalid () =
+  Alcotest.check_raises "zero" (Invalid_argument "Shapes.divisors: argument must be positive")
+    (fun () -> ignore (Shapes.divisors 0))
+
+let test_shapes_of_volume () =
+  let d = Dims.bgl in
+  let shapes = Shapes.shapes_of_volume d 8 in
+  check_bool "all have volume 8" true (List.for_all (fun s -> Shape.volume s = 8) shapes);
+  check_bool "all fit" true (List.for_all (Shape.fits d) shapes);
+  (* Volume 8 on 4x4x8: 1x1x8 1x2x4 1x4x2 2x1x4 2x2x2 2x4x1 4x1x2 4x2x1 1x8x? no (ny=4). *)
+  check_int "count" 8 (List.length shapes)
+
+let test_shapes_of_volume_infeasible () =
+  (* 11 is prime and 11 > 8, so no shape fits a 4x4x8 torus. *)
+  Alcotest.(check (list (Alcotest.testable Shape.pp Shape.equal)))
+    "no shape of 11" [] (Shapes.shapes_of_volume Dims.bgl 11)
+
+let test_feasible_volumes () =
+  let vols = Shapes.feasible_volumes Dims.bgl in
+  check_bool "contains 1" true (List.mem 1 vols);
+  check_bool "contains 128" true (List.mem 128 vols);
+  check_bool "no 11" false (List.mem 11 vols);
+  check_bool "sorted" true (List.sort Int.compare vols = vols);
+  check_bool "contains 7 (1x1x7)" true (List.mem 7 vols)
+
+let test_round_up_volume () =
+  let d = Dims.bgl in
+  Alcotest.(check (option int)) "exact" (Some 8) (Shapes.round_up_volume d 8);
+  Alcotest.(check (option int)) "11 -> 12" (Some 12) (Shapes.round_up_volume d 11);
+  Alcotest.(check (option int)) "torus-filling" (Some 128) (Shapes.round_up_volume d 128);
+  Alcotest.(check (option int)) "too large" None (Shapes.round_up_volume d 129);
+  (* 97..100: 97 prime > 8... the next feasible volume above 96 is 112 (2x4x14? no).
+     Check it agrees with a direct search. *)
+  let direct s =
+    let rec up v = if v > 128 then None else if Shapes.shapes_of_volume d v <> [] then Some v else up (v + 1) in
+    up s
+  in
+  for s = 1 to 128 do
+    Alcotest.(check (option int))
+      (Printf.sprintf "round_up %d" s)
+      (direct s) (Shapes.round_up_volume d s)
+  done
+
+let test_shapes_desc_order () =
+  let desc = Shapes.shapes_desc Dims.bgl in
+  check_int "all shapes of 4x4x8" (4 * 4 * 8) (List.length desc);
+  let volumes = List.map Shape.volume desc in
+  check_bool "non-increasing" true
+    (List.for_all2 (fun a b -> a >= b) (List.filteri (fun i _ -> i < List.length volumes - 1) volumes)
+       (List.tl volumes))
+
+(* ------------------------------------------------------------------ *)
+(* Finders: hand-built scenarios *)
+
+let test_find_empty_torus_singletons () =
+  let g = Grid.create Dims.bgl in
+  List.iter
+    (fun algo ->
+      check_int
+        (Finder.algo_name algo ^ " singletons")
+        128
+        (List.length (Finder.find algo g ~volume:1)))
+    Finder.all_algos
+
+let test_find_full_torus () =
+  let g = Grid.create Dims.bgl in
+  List.iter
+    (fun algo ->
+      (* Exactly one canonical box covers the whole torus. *)
+      Alcotest.check boxes
+        (Finder.algo_name algo ^ " full box")
+        [ Box.make (Coord.make 0 0 0) (Shape.make 4 4 8) ]
+        (Finder.find algo g ~volume:128))
+    Finder.all_algos
+
+let test_find_respects_occupancy () =
+  let g = Grid.create Dims.bgl in
+  (* Occupy the z=0 plane: no box touching z=0 is free. *)
+  for x = 0 to 3 do
+    for y = 0 to 3 do
+      Grid.occupy_node g (Coord.index Dims.bgl (Coord.make x y 0)) ~owner:1
+    done
+  done;
+  List.iter
+    (fun algo ->
+      let found = Finder.find algo g ~volume:16 in
+      check_bool
+        (Finder.algo_name algo ^ " avoids z=0")
+        true
+        (List.for_all
+           (fun b ->
+             List.for_all (fun (c : Coord.t) -> c.z <> 0) (Box.cells Dims.bgl b))
+           found);
+      check_bool (Finder.algo_name algo ^ " finds some") true (found <> []))
+    Finder.all_algos
+
+let test_find_no_wrap_smaller () =
+  let dwrap = Grid.create ~wrap:true (Dims.make 4 1 1) in
+  let gnow = Grid.create ~wrap:false (Dims.make 4 1 1) in
+  (* Occupy middle cells 1 and 2; a 2-box exists only with wraparound
+     (cells 3 and 0). *)
+  List.iter
+    (fun g ->
+      Grid.occupy_node g 1 ~owner:1;
+      Grid.occupy_node g 2 ~owner:1)
+    [ dwrap; gnow ];
+  List.iter
+    (fun algo ->
+      check_int (Finder.algo_name algo ^ " wrap finds") 1
+        (List.length (Finder.find algo dwrap ~volume:2));
+      check_int (Finder.algo_name algo ^ " no-wrap finds none") 0
+        (List.length (Finder.find algo gnow ~volume:2)))
+    Finder.all_algos
+
+let test_find_infeasible_volume () =
+  let g = Grid.create Dims.bgl in
+  List.iter
+    (fun algo ->
+      Alcotest.check boxes (Finder.algo_name algo ^ " volume 11") [] (Finder.find algo g ~volume:11);
+      Alcotest.check boxes (Finder.algo_name algo ^ " beyond torus") []
+        (Finder.find algo g ~volume:129))
+    Finder.all_algos
+
+let test_find_for_size_rounds_up () =
+  let g = Grid.create Dims.bgl in
+  let for_11 = Finder.find_for_size Finder.Prefix g ~size:11 in
+  check_bool "non-empty" true (for_11 <> []);
+  check_bool "all volume 12" true (List.for_all (fun b -> Box.volume b = 12) for_11)
+
+let test_exists_free () =
+  let g = Grid.create Dims.bgl in
+  check_bool "empty torus has 128" true (Finder.exists_free g ~volume:128);
+  Grid.occupy_node g 0 ~owner:1;
+  check_bool "no longer 128" false (Finder.exists_free g ~volume:128);
+  check_bool "still 64" true (Finder.exists_free g ~volume:64)
+
+let test_canonical_dedup_full_dim () =
+  (* With wraparound, a shape spanning a full dimension must appear
+     only with base 0 in that dimension. *)
+  let g = Grid.create (Dims.make 4 1 1) in
+  List.iter
+    (fun algo ->
+      Alcotest.check boxes
+        (Finder.algo_name algo ^ " full-x dedup")
+        [ Box.make (Coord.make 0 0 0) (Shape.make 4 1 1) ]
+        (Finder.find algo g ~volume:4))
+    Finder.all_algos
+
+(* ------------------------------------------------------------------ *)
+(* MFP: hand-built scenarios *)
+
+let test_mfp_empty_and_full () =
+  let g = Grid.create Dims.bgl in
+  check_int "empty torus MFP" 128 (Mfp.volume g);
+  let full = Box.make (Coord.make 0 0 0) (Shape.make 4 4 8) in
+  Grid.occupy g full ~owner:1;
+  check_int "full torus MFP" 0 (Mfp.volume g);
+  Alcotest.(check (option box_t)) "no box" None (Mfp.box g)
+
+let test_mfp_after_restores_grid () =
+  let g = Grid.create Dims.bgl in
+  let candidate = Box.make (Coord.make 0 0 0) (Shape.make 2 2 2) in
+  let free_before = Grid.free_count g in
+  let v = Mfp.volume_after g candidate in
+  check_int "grid restored" free_before (Grid.free_count g);
+  check_bool "MFP shrank" true (v < 128);
+  (* Occupying a 2x2x2 corner of a 4x4x8 torus leaves the 4x4x6 slab at
+     z in [2, 8) entirely free, so the MFP after placement is 96. *)
+  check_int "expected 96" 96 v
+
+let test_mfp_loss () =
+  let g = Grid.create Dims.bgl in
+  let candidate = Box.make (Coord.make 0 0 0) (Shape.make 2 2 2) in
+  check_int "loss" (128 - 96) (Mfp.loss g candidate);
+  check_int "loss_given" (Mfp.loss g candidate) (Mfp.loss_given ~before:(Mfp.volume g) g candidate)
+
+let test_mfp_figure1_intuition () =
+  (* Figure 1 of the paper: placing a job flush against existing jobs
+     preserves a larger MFP than splitting the free space. Model a
+     4x4x1 plane with a 2x2 job in a corner; placing a 2x1x1 job
+     adjacent (sharing the occupied boundary) leaves more MFP than
+     placing it in the middle of the free area. *)
+  let d = Dims.make 4 4 1 in
+  let g = Grid.create ~wrap:false d in
+  Grid.occupy g (Box.make (Coord.make 0 0 0) (Shape.make 2 2 1)) ~owner:1;
+  let adjacent = Box.make (Coord.make 2 0 0) (Shape.make 2 1 1) in
+  let middle = Box.make (Coord.make 1 2 0) (Shape.make 2 1 1) in
+  check_bool "adjacent better" true (Mfp.volume_after g adjacent > Mfp.volume_after g middle)
+
+(* ------------------------------------------------------------------ *)
+(* Properties: cross-validate the finders and MFP *)
+
+let dims_gen =
+  QCheck.Gen.(map3 (fun a b c -> Dims.make a b c) (int_range 1 4) (int_range 1 4) (int_range 1 5))
+
+let scenario_gen =
+  QCheck.Gen.(
+    map3
+      (fun d (seed, wrap) p -> (d, seed, wrap, p))
+      dims_gen (pair small_int bool) (float_bound_inclusive 0.9))
+
+let print_scenario (d, seed, wrap, p) =
+  Printf.sprintf "dims=%s seed=%d wrap=%b p=%.2f" (Dims.to_string d) seed wrap p
+
+let arb_scenario = QCheck.make ~print:print_scenario scenario_gen
+
+let build_grid (d, seed, wrap, p) =
+  let rng = Bgl_stats.Rng.create ~seed in
+  let g = Grid.create ~wrap d in
+  for node = 0 to Dims.volume d - 1 do
+    if Bgl_stats.Rng.unit_float rng < p then Grid.occupy_node g node ~owner:(node mod 5)
+  done;
+  g
+
+let prop_finders_agree =
+  QCheck.Test.make ~name:"all finders return the same set" ~count:150
+    QCheck.(pair arb_scenario (int_range 1 40))
+    (fun (scenario, volume) ->
+      let g = build_grid scenario in
+      let reference = Finder.find Finder.Naive g ~volume in
+      List.for_all
+        (fun algo -> Finder.find algo g ~volume = reference)
+        [ Finder.Pop; Finder.Shape_search; Finder.Prefix ])
+
+let prop_found_boxes_are_free =
+  QCheck.Test.make ~name:"found boxes are free and sized" ~count:150
+    QCheck.(pair arb_scenario (int_range 1 40))
+    (fun (scenario, volume) ->
+      let g = build_grid scenario in
+      List.for_all
+        (fun b -> Box.volume b = volume && Grid.box_is_free g b)
+        (Finder.find Finder.Prefix g ~volume))
+
+let prop_finder_complete =
+  (* Every free canonical box of the requested volume is found. *)
+  QCheck.Test.make ~name:"finder finds every free box" ~count:100
+    QCheck.(pair arb_scenario (int_range 1 30))
+    (fun (scenario, volume) ->
+      let ((d, _, wrap, _) as sc) = scenario in
+      let g = build_grid sc in
+      let found = Finder.find Finder.Prefix g ~volume in
+      let all_free = ref true in
+      List.iter
+        (fun shape ->
+          List.iter
+            (fun base ->
+              let b = Box.canonical d ~wrap (Box.make base shape) in
+              if Grid.box_is_free g b && not (List.exists (Box.equal b) found) then
+                all_free := false)
+            (Finder.bases d ~wrap shape))
+        (Shapes.shapes_of_volume d volume);
+      !all_free)
+
+let prop_mfp_matches_naive =
+  QCheck.Test.make ~name:"MFP equals max volume with a free box" ~count:100 arb_scenario
+    (fun scenario ->
+      let ((d, _, _, _) as sc) = scenario in
+      let g = build_grid sc in
+      let naive_best =
+        List.fold_left
+          (fun best v ->
+            if v > best && Finder.find Finder.Naive g ~volume:v <> [] then v else best)
+          0
+          (Shapes.feasible_volumes d)
+      in
+      Mfp.volume g = naive_best)
+
+let prop_mfp_box_is_free_and_maximal =
+  QCheck.Test.make ~name:"MFP box is free with the reported volume" ~count:150 arb_scenario
+    (fun scenario ->
+      let g = build_grid scenario in
+      match Mfp.box g with
+      | None -> Mfp.volume g = 0
+      | Some b -> Grid.box_is_free g b && Box.volume b = Mfp.volume g)
+
+let prop_exists_free_agrees =
+  QCheck.Test.make ~name:"exists_free agrees with find" ~count:150
+    QCheck.(pair arb_scenario (int_range 1 40))
+    (fun (scenario, volume) ->
+      let g = build_grid scenario in
+      Finder.exists_free g ~volume = (Finder.find Finder.Prefix g ~volume <> []))
+
+let prop_find_with_matches_find =
+  QCheck.Test.make ~name:"find_with over a fresh table equals find" ~count:100
+    QCheck.(pair arb_scenario (int_range 1 30))
+    (fun (scenario, volume) ->
+      let g = build_grid scenario in
+      let table = Prefix.build g in
+      Finder.find_with table g ~volume = Finder.find Finder.Prefix g ~volume
+      && Finder.exists_free_with table g ~volume = Finder.exists_free g ~volume)
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_find_with_matches_find;
+      prop_finders_agree;
+      prop_found_boxes_are_free;
+      prop_finder_complete;
+      prop_mfp_matches_naive;
+      prop_mfp_box_is_free_and_maximal;
+      prop_exists_free_agrees;
+    ]
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "bgl_partition"
+    [
+      ( "shapes",
+        [
+          tc "divisors" test_divisors;
+          tc "divisors invalid" test_divisors_invalid;
+          tc "shapes_of_volume" test_shapes_of_volume;
+          tc "infeasible volume" test_shapes_of_volume_infeasible;
+          tc "feasible volumes" test_feasible_volumes;
+          tc "round_up_volume" test_round_up_volume;
+          tc "shapes_desc order" test_shapes_desc_order;
+        ] );
+      ( "finder",
+        [
+          tc "singletons on empty torus" test_find_empty_torus_singletons;
+          tc "full torus" test_find_full_torus;
+          tc "respects occupancy" test_find_respects_occupancy;
+          tc "wraparound matters" test_find_no_wrap_smaller;
+          tc "infeasible volume" test_find_infeasible_volume;
+          tc "find_for_size rounds up" test_find_for_size_rounds_up;
+          tc "exists_free" test_exists_free;
+          tc "canonical dedup" test_canonical_dedup_full_dim;
+        ] );
+      ( "mfp",
+        [
+          tc "empty and full" test_mfp_empty_and_full;
+          tc "volume_after restores" test_mfp_after_restores_grid;
+          tc "loss" test_mfp_loss;
+          tc "figure 1 intuition" test_mfp_figure1_intuition;
+        ] );
+      ("properties", props);
+    ]

@@ -1,0 +1,376 @@
+(* Unit and property tests for the bgl_torus substrate. *)
+
+open Bgl_torus
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let coord = Alcotest.testable Coord.pp Coord.equal
+let box_t = Alcotest.testable Box.pp Box.equal
+
+(* ------------------------------------------------------------------ *)
+(* Dims *)
+
+let test_dims_make () =
+  let d = Dims.make 4 4 8 in
+  check_int "volume" 128 (Dims.volume d);
+  check_int "max_dim" 8 (Dims.max_dim d);
+  check_bool "bgl equal" true (Dims.equal d Dims.bgl)
+
+let test_dims_invalid () =
+  Alcotest.check_raises "zero" (Invalid_argument "Dims.make: dimensions must be positive")
+    (fun () -> ignore (Dims.make 0 1 1))
+
+let test_dims_string_round_trip () =
+  Alcotest.(check string) "to_string" "4x4x8" (Dims.to_string Dims.bgl);
+  (match Dims.of_string "4x4x8" with
+  | Ok d -> check_bool "parse" true (Dims.equal d Dims.bgl)
+  | Error e -> Alcotest.fail e);
+  (match Dims.of_string " 2X3x4 " with
+  | Ok d -> check_bool "case and spaces" true (Dims.equal d (Dims.make 2 3 4))
+  | Error e -> Alcotest.fail e);
+  check_bool "garbage rejected" true (Result.is_error (Dims.of_string "4x4"));
+  check_bool "negative rejected" true (Result.is_error (Dims.of_string "4x-4x8"))
+
+(* ------------------------------------------------------------------ *)
+(* Coord *)
+
+let test_coord_index_round_trip () =
+  let d = Dims.bgl in
+  for i = 0 to Dims.volume d - 1 do
+    check_int "round trip" i (Coord.index d (Coord.of_index d i))
+  done
+
+let test_coord_index_order () =
+  let d = Dims.make 3 4 5 in
+  check_int "origin" 0 (Coord.index d (Coord.make 0 0 0));
+  check_int "x fastest" 1 (Coord.index d (Coord.make 1 0 0));
+  check_int "then y" 3 (Coord.index d (Coord.make 0 1 0));
+  check_int "then z" 12 (Coord.index d (Coord.make 0 0 1))
+
+let test_coord_wrap () =
+  let d = Dims.make 4 4 8 in
+  Alcotest.check coord "wrap positive" (Coord.make 1 0 2) (Coord.wrap d (Coord.make 5 4 10));
+  Alcotest.check coord "wrap negative" (Coord.make 3 3 7) (Coord.wrap d (Coord.make (-1) (-1) (-1)))
+
+let test_coord_in_bounds () =
+  let d = Dims.make 2 2 2 in
+  check_bool "inside" true (Coord.in_bounds d (Coord.make 1 1 1));
+  check_bool "outside" false (Coord.in_bounds d (Coord.make 2 0 0));
+  check_bool "negative" false (Coord.in_bounds d (Coord.make 0 (-1) 0))
+
+let test_coord_of_index_invalid () =
+  Alcotest.check_raises "too large" (Invalid_argument "Coord.of_index: out of range") (fun () ->
+      ignore (Coord.of_index Dims.bgl 128))
+
+(* ------------------------------------------------------------------ *)
+(* Shape *)
+
+let test_shape_volume_fits () =
+  let s = Shape.make 2 3 4 in
+  check_int "volume" 24 (Shape.volume s);
+  check_bool "fits 4x4x8" true (Shape.fits Dims.bgl s);
+  check_bool "5 wide does not fit" false (Shape.fits Dims.bgl (Shape.make 5 1 1))
+
+let test_shape_rotations () =
+  check_int "distinct perms of 1x2x3" 6 (List.length (Shape.rotations (Shape.make 1 2 3)));
+  check_int "cube has one" 1 (List.length (Shape.rotations (Shape.make 2 2 2)));
+  check_int "two equal extents" 3 (List.length (Shape.rotations (Shape.make 2 2 3)))
+
+(* ------------------------------------------------------------------ *)
+(* Box *)
+
+let test_box_cells_count_and_dedup () =
+  let d = Dims.bgl in
+  let b = Box.make (Coord.make 3 3 7) (Shape.make 2 2 2) in
+  let cells = Box.cells d b in
+  check_int "volume cells" 8 (List.length cells);
+  check_int "all distinct" 8 (List.length (List.sort_uniq Coord.compare cells));
+  check_bool "wraps through origin" true (List.exists (Coord.equal (Coord.make 0 0 0)) cells)
+
+let test_box_indices_in_range () =
+  let d = Dims.bgl in
+  let b = Box.make (Coord.make 2 3 6) (Shape.make 3 2 4) in
+  List.iter
+    (fun i -> check_bool "index in range" true (i >= 0 && i < Dims.volume d))
+    (Box.indices d b)
+
+let test_box_canonical () =
+  let d = Dims.bgl in
+  let full_z = Box.make (Coord.make 1 2 5) (Shape.make 1 1 8) in
+  let canon = Box.canonical d ~wrap:true full_z in
+  Alcotest.check box_t "z collapsed" (Box.make (Coord.make 1 2 0) (Shape.make 1 1 8)) canon;
+  Alcotest.check box_t "no wrap unchanged" full_z (Box.canonical d ~wrap:false full_z)
+
+let test_box_member () =
+  let d = Dims.bgl in
+  let b = Box.make (Coord.make 3 0 0) (Shape.make 2 1 1) in
+  check_bool "base" true (Box.member d b (Coord.make 3 0 0));
+  check_bool "wrapped cell" true (Box.member d b (Coord.make 0 0 0));
+  check_bool "not member" false (Box.member d b (Coord.make 1 0 0))
+
+let test_box_overlap () =
+  let d = Dims.bgl in
+  let a = Box.make (Coord.make 0 0 0) (Shape.make 2 2 2) in
+  let b = Box.make (Coord.make 1 1 1) (Shape.make 2 2 2) in
+  let c = Box.make (Coord.make 2 2 2) (Shape.make 2 2 2) in
+  check_bool "a overlaps b" true (Box.overlap d a b);
+  check_bool "a does not overlap c" false (Box.overlap d a c);
+  let wrapped = Box.make (Coord.make 3 0 0) (Shape.make 2 2 2) in
+  check_bool "wraps into a" true (Box.overlap d a wrapped)
+
+(* ------------------------------------------------------------------ *)
+(* Grid *)
+
+let test_grid_occupy_vacate () =
+  let g = Grid.create Dims.bgl in
+  check_int "all free" 128 (Grid.free_count g);
+  let b = Box.make (Coord.make 0 0 0) (Shape.make 2 2 2) in
+  Grid.occupy g b ~owner:7;
+  check_int "free after occupy" 120 (Grid.free_count g);
+  check_int "busy" 8 (Grid.busy_count g);
+  Alcotest.(check (option int)) "owner" (Some 7) (Grid.owner g 0);
+  check_bool "box not free" false (Grid.box_is_free g b);
+  Grid.vacate g b ~owner:7;
+  check_int "free after vacate" 128 (Grid.free_count g);
+  check_bool "box free again" true (Grid.box_is_free g b)
+
+let test_grid_double_occupy_rejected () =
+  let g = Grid.create Dims.bgl in
+  let b = Box.make (Coord.make 0 0 0) (Shape.make 2 2 2) in
+  Grid.occupy g b ~owner:1;
+  let overlapping = Box.make (Coord.make 1 1 1) (Shape.make 2 2 2) in
+  check_bool "raises on overlap" true
+    (try
+       Grid.occupy g overlapping ~owner:2;
+       false
+     with Invalid_argument _ -> true);
+  (* The failed claim must not have changed anything. *)
+  check_int "free count unchanged" 120 (Grid.free_count g);
+  Alcotest.(check (option int)) "unclaimed cell still free" None
+    (Grid.owner g (Coord.index Dims.bgl (Coord.make 2 2 2)))
+
+let test_grid_vacate_wrong_owner () =
+  let g = Grid.create Dims.bgl in
+  let b = Box.make (Coord.make 0 0 0) (Shape.make 1 1 1) in
+  Grid.occupy g b ~owner:1;
+  check_bool "wrong owner rejected" true
+    (try
+       Grid.vacate g b ~owner:2;
+       false
+     with Invalid_argument _ -> true)
+
+let test_grid_copy_independent () =
+  let g = Grid.create Dims.bgl in
+  let b = Box.make (Coord.make 0 0 0) (Shape.make 1 1 1) in
+  let g2 = Grid.copy g in
+  Grid.occupy g b ~owner:1;
+  check_bool "copy unaffected" true (Grid.box_is_free g2 b)
+
+let test_grid_owners () =
+  let g = Grid.create Dims.bgl in
+  Grid.occupy g (Box.make (Coord.make 0 0 0) (Shape.make 1 1 1)) ~owner:5;
+  Grid.occupy g (Box.make (Coord.make 1 0 0) (Shape.make 1 1 1)) ~owner:3;
+  Grid.occupy_node g 10 ~owner:Grid.down_owner;
+  Alcotest.(check (list int)) "owners sorted" [ Grid.down_owner; 3; 5 ] (Grid.owners g)
+
+let test_grid_down_owner () =
+  let g = Grid.create Dims.bgl in
+  Grid.occupy_node g 0 ~owner:Grid.down_owner;
+  check_bool "down node not free" false (Grid.is_free g 0);
+  Grid.vacate_node g 0 ~owner:Grid.down_owner;
+  check_bool "repaired" true (Grid.is_free g 0)
+
+(* ------------------------------------------------------------------ *)
+(* Prefix *)
+
+let random_grid rng dims wrap p_busy =
+  let g = Grid.create ~wrap dims in
+  for node = 0 to Dims.volume dims - 1 do
+    if Bgl_stats.Rng.unit_float rng < p_busy then Grid.occupy_node g node ~owner:(node mod 7)
+  done;
+  g
+
+let test_prefix_matches_direct () =
+  let rng = Bgl_stats.Rng.create ~seed:77 in
+  let d = Dims.make 3 4 5 in
+  List.iter
+    (fun wrap ->
+      let g = random_grid rng d wrap 0.4 in
+      let table = Prefix.build g in
+      let shapes = [ Shape.make 1 1 1; Shape.make 2 2 2; Shape.make 3 1 2; Shape.make 3 4 5 ] in
+      List.iter
+        (fun shape ->
+          List.iter
+            (fun base ->
+              let b = Box.make base shape in
+              let direct =
+                List.length (List.filter (fun i -> not (Grid.is_free g i)) (Box.indices d b))
+              in
+              check_int "prefix count" direct (Prefix.occupied_in_box table b))
+            (if wrap then
+               List.concat_map
+                 (fun z ->
+                   List.concat_map
+                     (fun y -> List.map (fun x -> Coord.make x y z) (List.init d.nx Fun.id))
+                     (List.init d.ny Fun.id))
+                 (List.init d.nz Fun.id)
+             else
+               let ok ext dim = List.init (dim - ext + 1) Fun.id in
+               List.concat_map
+                 (fun z ->
+                   List.concat_map
+                     (fun y -> List.map (fun x -> Coord.make x y z) (ok shape.sx d.nx))
+                     (ok shape.sy d.ny))
+                 (ok shape.sz d.nz)))
+        shapes)
+    [ true; false ]
+
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+
+let dims_gen =
+  QCheck.Gen.(
+    map3 (fun a b c -> Dims.make a b c) (int_range 1 5) (int_range 1 5) (int_range 1 6))
+
+let arb_dims = QCheck.make ~print:Dims.to_string dims_gen
+
+let prop_coord_round_trip =
+  QCheck.Test.make ~name:"coord index round-trip" ~count:300
+    QCheck.(pair arb_dims (int_range 0 1000))
+    (fun (d, i) ->
+      let i = i mod Dims.volume d in
+      Coord.index d (Coord.of_index d i) = i)
+
+let prop_box_cells_distinct =
+  QCheck.Test.make ~name:"box cells are volume-many distinct nodes" ~count:300
+    QCheck.(quad arb_dims (int_range 0 999) (int_range 1 6) (pair (int_range 1 6) (int_range 1 6)))
+    (fun (d, base_seed, sx, (sy, sz)) ->
+      let sx = 1 + (sx - 1) mod d.nx
+      and sy = 1 + (sy - 1) mod d.ny
+      and sz = 1 + (sz - 1) mod d.nz in
+      let base = Coord.of_index d (base_seed mod Dims.volume d) in
+      let b = Box.make base (Shape.make sx sy sz) in
+      let cells = Box.cells d b in
+      List.length cells = sx * sy * sz
+      && List.length (List.sort_uniq Coord.compare cells) = sx * sy * sz
+      && List.for_all (Coord.in_bounds d) cells)
+
+let prop_overlap_matches_cells =
+  QCheck.Test.make ~name:"Box.overlap agrees with cell intersection" ~count:300
+    QCheck.(
+      pair arb_dims (pair (pair (int_range 0 999) (int_range 0 999)) (pair (int_range 1 216) (int_range 1 216))))
+    (fun (d, ((b1, b2), (s1, s2))) ->
+      let mk bseed sseed =
+        let base = Coord.of_index d (bseed mod Dims.volume d) in
+        let sx = 1 + (sseed mod d.nx) in
+        let sy = 1 + (sseed / 7 mod d.ny) in
+        let sz = 1 + (sseed / 49 mod d.nz) in
+        Box.make base (Shape.make sx sy sz)
+      in
+      let bx1 = mk b1 s1 and bx2 = mk b2 s2 in
+      let set1 = Box.indices d bx1 and set2 = Box.indices d bx2 in
+      let inter = List.exists (fun i -> List.mem i set2) set1 in
+      Box.overlap d bx1 bx2 = inter)
+
+let prop_member_matches_cells =
+  QCheck.Test.make ~name:"Box.member agrees with cell list" ~count:300
+    QCheck.(pair arb_dims (pair (int_range 0 999) (int_range 1 216)))
+    (fun (d, (bseed, sseed)) ->
+      let base = Coord.of_index d (bseed mod Dims.volume d) in
+      let sx = 1 + (sseed mod d.nx) in
+      let sy = 1 + (sseed / 7 mod d.ny) in
+      let sz = 1 + (sseed / 49 mod d.nz) in
+      let b = Box.make base (Shape.make sx sy sz) in
+      let cells = Box.cells d b in
+      List.for_all
+        (fun i ->
+          let c = Coord.of_index d i in
+          Box.member d b c = List.exists (Coord.equal c) cells)
+        (List.init (Dims.volume d) Fun.id))
+
+let prop_grid_free_count =
+  QCheck.Test.make ~name:"grid free count tracks occupancy" ~count:200
+    QCheck.(pair small_int (pair arb_dims (float_bound_inclusive 1.)))
+    (fun (seed, (d, p)) ->
+      let rng = Bgl_stats.Rng.create ~seed in
+      let g = random_grid rng d true p in
+      let free = ref 0 in
+      for i = 0 to Dims.volume d - 1 do
+        if Grid.is_free g i then incr free
+      done;
+      !free = Grid.free_count g && Grid.busy_count g = Dims.volume d - !free)
+
+let prop_prefix_agrees =
+  QCheck.Test.make ~name:"prefix counts equal direct counts" ~count:200
+    QCheck.(
+      pair small_int (pair arb_dims (pair bool (pair (float_bound_inclusive 1.) (pair (int_range 0 999) (int_range 1 216))))))
+    (fun (seed, (d, (wrap, (p, (bseed, sseed))))) ->
+      let rng = Bgl_stats.Rng.create ~seed in
+      let g = random_grid rng d wrap p in
+      let table = Prefix.build g in
+      let sx = 1 + (sseed mod d.nx) in
+      let sy = 1 + (sseed / 7 mod d.ny) in
+      let sz = 1 + (sseed / 49 mod d.nz) in
+      let base =
+        if wrap then Coord.of_index d (bseed mod Dims.volume d)
+        else
+          Coord.make
+            (bseed mod (d.nx - sx + 1))
+            (bseed / 5 mod (d.ny - sy + 1))
+            (bseed / 25 mod (d.nz - sz + 1))
+      in
+      let b = Box.make base (Shape.make sx sy sz) in
+      let direct = List.length (List.filter (fun i -> not (Grid.is_free g i)) (Box.indices d b)) in
+      Prefix.occupied_in_box table b = direct)
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_coord_round_trip;
+      prop_box_cells_distinct;
+      prop_overlap_matches_cells;
+      prop_member_matches_cells;
+      prop_grid_free_count;
+      prop_prefix_agrees;
+    ]
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "bgl_torus"
+    [
+      ( "dims",
+        [
+          tc "make/volume" test_dims_make;
+          tc "invalid" test_dims_invalid;
+          tc "string round trip" test_dims_string_round_trip;
+        ] );
+      ( "coord",
+        [
+          tc "index round trip" test_coord_index_round_trip;
+          tc "index order" test_coord_index_order;
+          tc "wrap" test_coord_wrap;
+          tc "in_bounds" test_coord_in_bounds;
+          tc "of_index invalid" test_coord_of_index_invalid;
+        ] );
+      ("shape", [ tc "volume/fits" test_shape_volume_fits; tc "rotations" test_shape_rotations ]);
+      ( "box",
+        [
+          tc "cells count and dedup" test_box_cells_count_and_dedup;
+          tc "indices in range" test_box_indices_in_range;
+          tc "canonical" test_box_canonical;
+          tc "member" test_box_member;
+          tc "overlap" test_box_overlap;
+        ] );
+      ( "grid",
+        [
+          tc "occupy/vacate" test_grid_occupy_vacate;
+          tc "double occupy rejected" test_grid_double_occupy_rejected;
+          tc "vacate wrong owner" test_grid_vacate_wrong_owner;
+          tc "copy independent" test_grid_copy_independent;
+          tc "owners" test_grid_owners;
+          tc "down owner" test_grid_down_owner;
+        ] );
+      ("prefix", [ tc "matches direct counts" test_prefix_matches_direct ]);
+      ("properties", props);
+    ]

@@ -1,0 +1,175 @@
+(* Tests for the workload profiles and the synthetic generator. *)
+
+open Bgl_workload
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let spec ?(profile = Profile.sdsc) ?(n_jobs = 500) ?(max_nodes = 128) ?(seed = 3) () =
+  { Synthetic.profile; n_jobs; max_nodes; seed }
+
+(* ------------------------------------------------------------------ *)
+(* Profile *)
+
+let test_by_name () =
+  check_bool "nasa" true (Profile.by_name "nasa" <> None);
+  check_bool "case insensitive" true (Profile.by_name " SDSC " <> None);
+  check_bool "unknown" true (Profile.by_name "cray" = None)
+
+let test_profiles_well_formed () =
+  List.iter
+    (fun (p : Profile.t) ->
+      check_bool (p.name ^ " weights positive") true
+        (Array.for_all (fun (_, w) -> w > 0.) p.size_mix);
+      check_bool (p.name ^ " sizes positive and within machine") true
+        (Array.for_all (fun (s, _) -> s > 0 && s <= p.machine_nodes) p.size_mix);
+      check_bool (p.name ^ " runtime bounds") true (0. < p.runtime_min && p.runtime_min < p.runtime_cap);
+      check_bool (p.name ^ " target util sane") true (0.3 < p.target_util && p.target_util < 0.95))
+    Profile.all
+
+let test_sizes_for_rescales () =
+  (* LLNL is a 256-node machine: mapped onto 128 nodes, its sizes halve. *)
+  let sizes = Profile.sizes_for Profile.llnl ~max_nodes:128 in
+  check_bool "max is 128" true (Array.for_all (fun (s, _) -> s <= 128) sizes);
+  check_bool "min scaled to 16" true (Array.exists (fun (s, _) -> s = 16) sizes);
+  (* NASA already fits: unchanged. *)
+  let nasa = Profile.sizes_for Profile.nasa ~max_nodes:128 in
+  check_int "nasa mix unchanged" (Array.length Profile.nasa.size_mix) (Array.length nasa)
+
+let test_sizes_for_merges_weights () =
+  let sizes = Profile.sizes_for Profile.llnl ~max_nodes:16 in
+  (* 256-node machine squeezed onto 16 nodes: scale 16, sizes {2,4,8,16};
+     total weight must be conserved. *)
+  let total = Array.fold_left (fun acc (_, w) -> acc +. w) 0. sizes in
+  let orig = Array.fold_left (fun acc (_, w) -> acc +. w) 0. Profile.llnl.size_mix in
+  check_bool "weight conserved" true (abs_float (total -. orig) < 1e-9)
+
+let test_mean_size_positive () =
+  List.iter
+    (fun p ->
+      let m = Profile.mean_size p ~max_nodes:128 in
+      check_bool "positive and bounded" true (m > 0. && m <= 128.))
+    Profile.all
+
+(* ------------------------------------------------------------------ *)
+(* Synthetic *)
+
+let test_generate_count_and_order () =
+  let log = Synthetic.generate (spec ()) in
+  check_int "count" 500 (Bgl_trace.Job_log.length log);
+  let sorted = ref true in
+  Array.iteri
+    (fun i (j : Bgl_trace.Job_log.job) ->
+      if i > 0 && j.arrival < log.jobs.(i - 1).arrival then sorted := false)
+    log.jobs;
+  check_bool "arrivals non-decreasing" true !sorted
+
+let test_generate_bounds () =
+  List.iter
+    (fun profile ->
+      let log = Synthetic.generate (spec ~profile ~n_jobs:400 ()) in
+      Array.iter
+        (fun (j : Bgl_trace.Job_log.job) ->
+          check_bool "size in [1, 128]" true (j.size >= 1 && j.size <= 128);
+          check_bool "runtime in bounds" true
+            (j.run_time >= profile.runtime_min && j.run_time <= profile.runtime_cap);
+          check_bool "estimate >= runtime" true (j.estimate >= j.run_time))
+        log.jobs)
+    Profile.all
+
+let test_generate_deterministic () =
+  let a = Synthetic.generate (spec ~seed:9 ()) in
+  let b = Synthetic.generate (spec ~seed:9 ()) in
+  check_bool "same seed same log" true (a.jobs = b.jobs);
+  let c = Synthetic.generate (spec ~seed:10 ()) in
+  check_bool "different seed differs" false (a.jobs = c.jobs)
+
+let test_generate_offered_load () =
+  (* The realised offered load should approach target_util; the runtime
+     cap trims the analytic mean, so allow a generous band. *)
+  let log = Synthetic.generate (spec ~n_jobs:4000 ()) in
+  let offered = Bgl_trace.Job_log.offered_load log ~nodes:128 in
+  let target = Profile.sdsc.target_util in
+  check_bool
+    (Printf.sprintf "offered %.3f within [%.3f, %.3f]" offered (0.6 *. target) (1.25 *. target))
+    true
+    (offered > 0.6 *. target && offered < 1.25 *. target)
+
+let test_generate_size_mix () =
+  (* The empirical share of 1-node jobs in the NASA log should be close
+     to the profile's 57%. *)
+  let log = Synthetic.generate (spec ~profile:Profile.nasa ~n_jobs:4000 ()) in
+  let ones =
+    Array.fold_left (fun acc (j : Bgl_trace.Job_log.job) -> if j.size = 1 then acc + 1 else acc) 0 log.jobs
+  in
+  let share = float_of_int ones /. 4000. in
+  check_bool (Printf.sprintf "sequential share %.3f near 0.57" share) true
+    (abs_float (share -. 0.57) < 0.05)
+
+let test_generate_invalid () =
+  check_bool "n_jobs 0" true
+    (try
+       ignore (Synthetic.generate (spec ~n_jobs:0 ()));
+       false
+     with Invalid_argument _ -> true)
+
+let test_arrival_rate_positive () =
+  List.iter
+    (fun p -> check_bool "rate > 0" true (Synthetic.arrival_rate p ~max_nodes:128 > 0.))
+    Profile.all
+
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+
+let prop_generate_valid_log =
+  QCheck.Test.make ~name:"generated logs satisfy Job_log invariants" ~count:30
+    QCheck.(pair (int_range 1 200) small_int)
+    (fun (n_jobs, seed) ->
+      let log =
+        Synthetic.generate { profile = Profile.sdsc; n_jobs; max_nodes = 128; seed }
+      in
+      Bgl_trace.Job_log.length log = n_jobs
+      && Array.for_all
+           (fun (j : Bgl_trace.Job_log.job) ->
+             j.size >= 1 && j.run_time > 0. && j.estimate >= j.run_time && j.arrival >= 0.)
+           log.jobs)
+
+let prop_scaling_preserves_count =
+  QCheck.Test.make ~name:"load scaling preserves job count and sizes" ~count:30
+    QCheck.(pair (int_range 1 100) (float_range 0.5 1.5))
+    (fun (n_jobs, c) ->
+      let log = Synthetic.generate { profile = Profile.nasa; n_jobs; max_nodes = 128; seed = 1 } in
+      let scaled = Bgl_trace.Job_log.scale_runtime log ~c in
+      Bgl_trace.Job_log.length scaled = n_jobs
+      && Array.for_all2
+           (fun (a : Bgl_trace.Job_log.job) (b : Bgl_trace.Job_log.job) ->
+             a.size = b.size && abs_float (b.run_time -. (a.run_time *. c)) < 1e-6)
+           log.jobs scaled.jobs)
+
+let props =
+  List.map QCheck_alcotest.to_alcotest [ prop_generate_valid_log; prop_scaling_preserves_count ]
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "bgl_workload"
+    [
+      ( "profile",
+        [
+          tc "by_name" test_by_name;
+          tc "well formed" test_profiles_well_formed;
+          tc "sizes_for rescales" test_sizes_for_rescales;
+          tc "sizes_for merges" test_sizes_for_merges_weights;
+          tc "mean size" test_mean_size_positive;
+        ] );
+      ( "synthetic",
+        [
+          tc "count and order" test_generate_count_and_order;
+          tc "bounds" test_generate_bounds;
+          tc "deterministic" test_generate_deterministic;
+          tc "offered load" test_generate_offered_load;
+          tc "size mix" test_generate_size_mix;
+          tc "invalid" test_generate_invalid;
+          tc "arrival rate" test_arrival_rate_positive;
+        ] );
+      ("properties", props);
+    ]
