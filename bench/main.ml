@@ -86,9 +86,56 @@ let event_queue_tests () =
              done));
     ]
 
+(* Observability overhead: the acceptance bar is that instrumented hot
+   paths cost (essentially) nothing while spans are disabled and the
+   registry is the noop one. Each staged closure pins the global state
+   it needs, so groups can run in any order. *)
+let obs_tests () =
+  let half = busy_grid ~seed:2 ~fraction:0.5 in
+  let finder_with_spans on =
+    Bechamel.Staged.stage (fun () ->
+        Bgl_obs.Span.set_enabled on;
+        ignore (Finder.find Finder.Prefix half ~volume:32);
+        Bgl_obs.Span.set_enabled false)
+  in
+  let queue_with_spans on =
+    Bechamel.Staged.stage (fun () ->
+        Bgl_obs.Span.set_enabled on;
+        let q = Bgl_sim.Event_queue.create () in
+        for i = 0 to 999 do
+          Bgl_sim.Event_queue.push q ~time:(float_of_int ((i * 7919) mod 1000)) i
+        done;
+        while not (Bgl_sim.Event_queue.is_empty q) do
+          ignore (Bgl_sim.Event_queue.pop q)
+        done;
+        Bgl_obs.Span.set_enabled false)
+  in
+  let noop_counter = Bgl_obs.Registry.counter Bgl_obs.Registry.noop "bench_total" in
+  let live_reg = Bgl_obs.Registry.create () in
+  let live_counter = Bgl_obs.Registry.counter live_reg "bench_total" in
+  let inc_1k c =
+    Bechamel.Staged.stage (fun () ->
+        for _ = 1 to 1000 do
+          Bgl_obs.Registry.inc c
+        done)
+  in
+  Bechamel.Test.make_grouped ~name:"obs"
+    [
+      Bechamel.Test.make ~name:"find/half/v=32/prefix/spans-off" (finder_with_spans false);
+      Bechamel.Test.make ~name:"find/half/v=32/prefix/spans-on" (finder_with_spans true);
+      Bechamel.Test.make ~name:"event-queue/push-pop-1k/spans-off" (queue_with_spans false);
+      Bechamel.Test.make ~name:"event-queue/push-pop-1k/spans-on" (queue_with_spans true);
+      Bechamel.Test.make ~name:"counter/inc-1k/noop" (inc_1k noop_counter);
+      Bechamel.Test.make ~name:"counter/inc-1k/live" (inc_1k live_counter);
+    ]
+
 let run_micro () =
-  Format.printf "=== micro: partition finders (Appendix 9 lineage) and engine kernels ===@.";
-  let tests = Bechamel.Test.make_grouped ~name:"bgl" [ finder_tests (); event_queue_tests () ] in
+  Format.printf
+    "=== micro: partition finders (Appendix 9 lineage), engine kernels, obs overhead ===@.";
+  let tests =
+    Bechamel.Test.make_grouped ~name:"bgl"
+      [ finder_tests (); event_queue_tests (); obs_tests () ]
+  in
   let cfg = Bechamel.Benchmark.cfg ~limit:2000 ~quota:(Bechamel.Time.second 0.5) () in
   let raw = Bechamel.Benchmark.all cfg [ Bechamel.Toolkit.Instance.monotonic_clock ] tests in
   let ols = Bechamel.Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| "run" |] in

@@ -94,8 +94,28 @@ let per_job = Arg.(value & flag & info [ "per-job" ] ~doc:"Also print one line p
 let timeline =
   Arg.(value & flag & info [ "timeline" ] ~doc:"Print an ASCII machine-utilisation strip.")
 
+let metrics_out =
+  Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE"
+         ~doc:"Write a metrics snapshot after the run: Prometheus text format, or CSV if FILE \
+               ends in .csv.")
+
+let trace_out =
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE"
+         ~doc:"Stream every lifecycle event to FILE as JSONL, one line per event (constant \
+               memory, any run length).")
+
+let progress =
+  Arg.(value & opt (some int) None & info [ "progress" ] ~docv:"N"
+         ~doc:"Print a heartbeat line to stderr every N simulation events.")
+
+let quiet =
+  Arg.(value & flag & info [ "quiet"; "q" ]
+         ~doc:"Suppress informational notes (skipped/malformed trace lines), for script use. \
+               Errors still print.")
+
 let run profile swf failure_log n_jobs load failures algo seed no_backfill migration repair
-    checkpoint per_job timeline =
+    checkpoint per_job timeline metrics_out trace_out progress quiet =
+  let obs = Bgl_core.Obs_cli.setup ?metrics_out ?trace_out ?progress () in
   let recorder = if timeline then Some (Bgl_sim.Recorder.create ()) else None in
   let config =
     {
@@ -127,7 +147,7 @@ let run profile swf failure_log n_jobs load failures algo seed no_backfill migra
           | Some path -> (
               match Bgl_trace.Swf.load path with
               | Ok (log, report) ->
-                  if report.skipped > 0 || report.malformed <> [] then
+                  if (not quiet) && (report.skipped > 0 || report.malformed <> []) then
                     Format.eprintf "note: %d jobs skipped, %d malformed lines@." report.skipped
                       (List.length report.malformed);
                   Ok (Bgl_trace.Job_log.scale_runtime ~c:load log)
@@ -185,9 +205,11 @@ let run profile swf failure_log n_jobs load failures algo seed no_backfill migra
   in
   match outcome with
   | Error msg ->
+      Bgl_core.Obs_cli.finish obs;
       Format.eprintf "error: %s@." msg;
       1
   | Ok outcome ->
+      Bgl_core.Obs_cli.finish ~report:outcome.report obs;
       Format.printf "run: %s@." outcome.name;
       if outcome.dropped_jobs > 0 then
         Format.printf "dropped %d oversize jobs at ingest@." outcome.dropped_jobs;
@@ -210,12 +232,43 @@ let run profile swf failure_log n_jobs load failures algo seed no_backfill migra
           outcome.jobs;
       0
 
+(* ------------------------------------------------------------------ *)
+(* bench: one full simulation with span timing on, then the profile *)
+
+let bench profile n_jobs load failures algo seed no_backfill migration metrics_out =
+  let obs = Bgl_core.Obs_cli.setup ?metrics_out () in
+  Bgl_obs.Span.set_enabled true;
+  let config = { Bgl_sim.Config.default with backfill = not no_backfill; migration } in
+  let scenario =
+    Bgl_core.Scenario.make ~n_jobs ~load ?failures_paper:failures ~seed ~config ~profile algo
+  in
+  let t0 = Unix.gettimeofday () in
+  let outcome = Bgl_core.Scenario.run scenario in
+  let wall = Unix.gettimeofday () -. t0 in
+  Bgl_obs.Span.set_enabled false;
+  Format.printf "run: %s@." outcome.name;
+  Format.printf "%a@." Bgl_sim.Metrics.pp_report outcome.report;
+  Format.printf "wall time: %.3f s@.@." wall;
+  Format.printf "%a@." Bgl_obs.Span.pp_profile ();
+  Bgl_core.Obs_cli.finish ~report:outcome.report obs;
+  0
+
+let run_term =
+  Term.(
+    const run $ profile $ swf $ failure_log $ n_jobs $ load $ failures $ algo $ seed
+    $ no_backfill $ migration $ repair $ checkpoint $ per_job $ timeline $ metrics_out
+    $ trace_out $ progress $ quiet)
+
+let bench_cmd =
+  let doc = "profile one simulation: run with span timers on, print the timing table" in
+  Cmd.v
+    (Cmd.info "bench" ~doc)
+    Term.(
+      const bench $ profile $ n_jobs $ load $ failures $ algo $ seed $ no_backfill $ migration
+      $ metrics_out)
+
 let cmd =
   let doc = "run one fault-aware BG/L scheduling simulation" in
-  Cmd.v
-    (Cmd.info "bgl-sim" ~doc)
-    Term.(
-      const run $ profile $ swf $ failure_log $ n_jobs $ load $ failures $ algo $ seed
-      $ no_backfill $ migration $ repair $ checkpoint $ per_job $ timeline)
+  Cmd.group ~default:run_term (Cmd.info "bgl-sim" ~doc) [ bench_cmd ]
 
 let () = exit (Cmd.eval' cmd)

@@ -25,7 +25,23 @@ let out =
 
 let chart = Arg.(value & flag & info [ "chart" ] ~doc:"Also print ASCII charts.")
 
-let run ids full jobs seeds out chart =
+let metrics_out =
+  Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE"
+         ~doc:"Write a metrics snapshot aggregated over every run of the sweep: Prometheus text \
+               format, or CSV if FILE ends in .csv.")
+
+let trace_out =
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE"
+         ~doc:"Stream all runs' lifecycle events to FILE as JSONL; runs are framed by \
+               run_begin/run_end lines.")
+
+let progress =
+  Arg.(value & opt (some int) None & info [ "progress" ] ~docv:"N"
+         ~doc:"Print a heartbeat line to stderr every N simulation events (cumulative across \
+               runs).")
+
+let run ids full jobs seeds out chart metrics_out trace_out progress =
+  let obs = Bgl_core.Obs_cli.setup ?metrics_out ?trace_out ?progress () in
   let scale = if full then Bgl_core.Figures.full else Bgl_core.Figures.quick in
   let scale =
     { scale with
@@ -51,27 +67,32 @@ let run ids full jobs seeds out chart =
             | Some f -> Ok (`Ablation f)
             | None -> Error id))
   in
-  match ids with
-  | [] ->
-      List.iter emit (Bgl_core.Figures.all scale);
-      0
-  | ids -> (
-      let resolved = List.map resolve ids in
-      match List.find_opt Result.is_error resolved with
-      | Some (Error id) ->
-          Format.eprintf "unknown id %S@." id;
-          1
-      | Some (Ok _) | None ->
-          List.iter
-            (function
-              | Ok (`Figures f) -> List.iter emit (f scale)
-              | Ok (`Ablation f) -> emit (f scale)
-              | Error _ -> ())
-            resolved;
-          0)
+  let code =
+    match ids with
+    | [] ->
+        List.iter emit (Bgl_core.Figures.all scale);
+        0
+    | ids -> (
+        let resolved = List.map resolve ids in
+        match List.find_opt Result.is_error resolved with
+        | Some (Error id) ->
+            Format.eprintf "unknown id %S@." id;
+            1
+        | Some (Ok _) | None ->
+            List.iter
+              (function
+                | Ok (`Figures f) -> List.iter emit (f scale)
+                | Ok (`Ablation f) -> emit (f scale)
+                | Error _ -> ())
+              resolved;
+            0)
+  in
+  Bgl_core.Obs_cli.finish obs;
+  code
 
 let cmd =
   let doc = "regenerate the paper's evaluation figures and ablations" in
-  Cmd.v (Cmd.info "bgl-sweep" ~doc) Term.(const run $ ids $ full $ jobs $ seeds $ out $ chart)
+  Cmd.v (Cmd.info "bgl-sweep" ~doc)
+    Term.(const run $ ids $ full $ jobs $ seeds $ out $ chart $ metrics_out $ trace_out $ progress)
 
 let () = exit (Cmd.eval' cmd)

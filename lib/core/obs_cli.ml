@@ -1,0 +1,67 @@
+type t = {
+  metrics_out : string option;
+  registry : Bgl_obs.Registry.t option;
+  trace_channel : out_channel option;
+}
+
+(* Flag validation errors are the user's, not ours: report them
+   cleanly and exit instead of letting cmdliner print an "internal
+   error" backtrace. *)
+let usage_error fmt =
+  Format.kasprintf
+    (fun msg ->
+      prerr_endline ("bgl: " ^ msg);
+      exit 1)
+    fmt
+
+let open_out_or_die path =
+  try open_out path with Sys_error reason -> usage_error "cannot open %s (%s)" path reason
+
+let setup ?metrics_out ?trace_out ?progress () =
+  Option.iter
+    (fun every -> if every < 1 then usage_error "--progress must be >= 1 (got %d)" every)
+    progress;
+  let registry =
+    Option.map
+      (fun path ->
+        (* Fail now, not after a long run, if the path is unwritable. *)
+        close_out (open_out_or_die path);
+        let reg = Bgl_obs.Registry.create () in
+        Bgl_obs.Runtime.set_registry reg;
+        reg)
+      metrics_out
+  in
+  let trace_channel =
+    Option.map
+      (fun path ->
+        let oc = open_out_or_die path in
+        Bgl_obs.Runtime.set_trace_writer
+          (Some
+             (fun line ->
+               output_string oc line;
+               output_char oc '\n'));
+        oc)
+      trace_out
+  in
+  Option.iter
+    (fun every -> Bgl_obs.Runtime.set_heartbeat (Some (Bgl_obs.Heartbeat.create ~every ())))
+    progress;
+  { metrics_out; registry; trace_channel }
+
+let finish ?report t =
+  (match (t.registry, t.metrics_out) with
+  | Some reg, Some path ->
+      Option.iter (Bgl_sim.Metrics.report_to_registry reg) report;
+      Bgl_obs.Span.export reg;
+      let oc = open_out path in
+      output_string oc
+        (if Filename.check_suffix path ".csv" then Bgl_obs.Registry.to_csv reg
+         else Bgl_obs.Registry.to_prometheus reg);
+      close_out oc
+  | _ -> ());
+  Option.iter
+    (fun oc ->
+      flush oc;
+      close_out oc)
+    t.trace_channel;
+  Bgl_obs.Runtime.reset ()

@@ -1,0 +1,19 @@
+(** Shared command-line glue for the observability flags.
+
+    Both CLIs accept [--metrics-out FILE], [--trace-out FILE] and
+    [--progress N]; this module turns them into process-wide
+    {!Bgl_obs.Runtime} state before the run and materialises the
+    outputs afterwards. *)
+
+type t
+
+val setup : ?metrics_out:string -> ?trace_out:string -> ?progress:int -> unit -> t
+(** Install a live registry (when [metrics_out] is given), a JSONL
+    trace writer onto a freshly opened [trace_out], and a heartbeat
+    printing to stderr every [progress] events. *)
+
+val finish : ?report:Bgl_sim.Metrics.report -> t -> unit
+(** Publish [report] and any recorded spans into the registry, write
+    the metrics snapshot ([.csv] extension selects CSV, anything else
+    Prometheus text), close the trace channel, and reset
+    {!Bgl_obs.Runtime} to its inert defaults. *)

@@ -1,0 +1,26 @@
+(** Periodic progress reporting for long runs.
+
+    The engine calls {!tick} once per simulation event with a thunk
+    producing the current state snapshot; every [every] ticks the
+    heartbeat forces the thunk and prints one line — sim-time, queue
+    depth, running jobs, free nodes, and the wall-clock event rate
+    since the previous beat — so multi-minute sweeps are no longer
+    silent. Off-beat ticks cost one increment and one compare; the
+    snapshot is only computed on beats. *)
+
+type snapshot = { sim_time : float; queue_depth : int; running : int; free_nodes : int }
+
+type t
+
+val create : ?out:Format.formatter -> ?clock:(unit -> float) -> every:int -> unit -> t
+(** [out] defaults to [Format.err_formatter]; [clock] (wall seconds)
+    defaults to [Unix.gettimeofday].
+    @raise Invalid_argument if [every < 1]. *)
+
+val tick : t -> (unit -> snapshot) -> unit
+
+val ticks : t -> int
+(** Total ticks seen. *)
+
+val beats : t -> int
+(** Lines printed so far. *)

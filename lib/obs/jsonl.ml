@@ -1,0 +1,144 @@
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let string s = "\"" ^ escape s ^ "\""
+
+let float v =
+  if not (Float.is_finite v) then "null"
+  else if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.1f" v
+  else Printf.sprintf "%.12g" v
+
+let int = string_of_int
+let bool = string_of_bool
+
+let obj fields =
+  "{" ^ String.concat "," (List.map (fun (k, v) -> string k ^ ":" ^ v) fields) ^ "}"
+
+(* ------------------------------------------------------------------ *)
+(* Validation: a recursive-descent checker, no AST. *)
+
+exception Bad
+
+let valid s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let expect c = if peek () = Some c then advance () else raise Bad in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | Some _ | None -> ()
+  in
+  let literal lit =
+    let l = String.length lit in
+    if !pos + l <= n && String.sub s !pos l = lit then pos := !pos + l else raise Bad
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' -> obj_body ()
+    | Some '[' -> arr_body ()
+    | Some '"' -> str ()
+    | Some 't' -> literal "true"
+    | Some 'f' -> literal "false"
+    | Some 'n' -> literal "null"
+    | Some ('-' | '0' .. '9') -> number ()
+    | Some _ | None -> raise Bad
+  and str () =
+    expect '"';
+    let rec go () =
+      match peek () with
+      | None -> raise Bad
+      | Some '"' -> advance ()
+      | Some '\\' ->
+          advance ();
+          (match peek () with
+          | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') -> advance ()
+          | Some 'u' ->
+              advance ();
+              for _ = 1 to 4 do
+                match peek () with
+                | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
+                | Some _ | None -> raise Bad
+              done
+          | Some _ | None -> raise Bad);
+          go ()
+      | Some c when Char.code c < 0x20 -> raise Bad
+      | Some _ ->
+          advance ();
+          go ()
+    in
+    go ()
+  and number () =
+    if peek () = Some '-' then advance ();
+    let digits () =
+      let start = !pos in
+      let rec go () = match peek () with Some '0' .. '9' -> advance (); go () | _ -> () in
+      go ();
+      if !pos = start then raise Bad
+    in
+    digits ();
+    if peek () = Some '.' then begin advance (); digits () end;
+    (match peek () with
+    | Some ('e' | 'E') ->
+        advance ();
+        (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+        digits ()
+    | _ -> ())
+  and obj_body () =
+    expect '{';
+    skip_ws ();
+    if peek () = Some '}' then advance ()
+    else
+      let rec members () =
+        skip_ws ();
+        str ();
+        skip_ws ();
+        expect ':';
+        value ();
+        skip_ws ();
+        match peek () with
+        | Some ',' ->
+            advance ();
+            members ()
+        | Some '}' -> advance ()
+        | Some _ | None -> raise Bad
+      in
+      members ()
+  and arr_body () =
+    expect '[';
+    skip_ws ();
+    if peek () = Some ']' then advance ()
+    else
+      let rec elements () =
+        value ();
+        skip_ws ();
+        match peek () with
+        | Some ',' ->
+            advance ();
+            elements ()
+        | Some ']' -> advance ()
+        | Some _ | None -> raise Bad
+      in
+      elements ()
+  in
+  match value () with
+  | () ->
+      skip_ws ();
+      !pos = n
+  | exception Bad -> false

@@ -1,0 +1,25 @@
+(** Minimal JSON helpers for the streaming trace.
+
+    Emission side: tiny combinators producing compact one-line JSON
+    without an AST (the trace hot path formats straight into strings).
+    Consumption side: {!valid}, a small structural validator used by
+    the tests and the CI smoke check. *)
+
+val escape : string -> string
+(** JSON string-escape the contents (no surrounding quotes). *)
+
+val string : string -> string
+(** A quoted, escaped JSON string. *)
+
+val float : float -> string
+(** Compact float literal; non-finite values become [null] (JSON has
+    no NaN/infinity). *)
+
+val int : int -> string
+val bool : bool -> string
+
+val obj : (string * string) list -> string
+(** [obj [("a", int 1)]] is [{"a":1}]. Values must already be JSON. *)
+
+val valid : string -> bool
+(** Whether the string is exactly one well-formed JSON value. *)

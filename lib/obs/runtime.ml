@@ -1,0 +1,15 @@
+let registry_ref = ref Registry.noop
+let heartbeat_ref : Heartbeat.t option ref = ref None
+let trace_ref : (string -> unit) option ref = ref None
+
+let registry () = !registry_ref
+let set_registry r = registry_ref := r
+let heartbeat () = !heartbeat_ref
+let set_heartbeat h = heartbeat_ref := h
+let trace_writer () = !trace_ref
+let set_trace_writer w = trace_ref := w
+
+let reset () =
+  registry_ref := Registry.noop;
+  heartbeat_ref := None;
+  trace_ref := None

@@ -1,0 +1,27 @@
+(** Process-wide observability configuration.
+
+    The engine and the instrumented libraries read their observability
+    environment from here instead of threading it through every call
+    chain (figure sweeps call the engine many layers deep). Defaults
+    are fully inert: the {!Registry.noop} registry, no heartbeat, no
+    trace writer — so an unconfigured process pays only dead branches.
+    CLIs flip the switches at startup ([--metrics-out], [--progress],
+    [--trace-out]). *)
+
+val registry : unit -> Registry.t
+(** Defaults to {!Registry.noop}. *)
+
+val set_registry : Registry.t -> unit
+
+val heartbeat : unit -> Heartbeat.t option
+val set_heartbeat : Heartbeat.t option -> unit
+
+val trace_writer : unit -> (string -> unit) option
+(** When set, every engine run streams its lifecycle events as JSONL
+    lines (plus [run_begin]/[run_end] markers) into the writer, which
+    must append exactly one newline per call it receives. *)
+
+val set_trace_writer : (string -> unit) option -> unit
+
+val reset : unit -> unit
+(** Back to the inert defaults (tests). *)

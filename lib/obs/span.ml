@@ -1,0 +1,75 @@
+type cell = { mutable count : int; mutable total : float; mutable max : float }
+
+let table : (string, cell) Hashtbl.t = Hashtbl.create 64
+let on = ref false
+let clock = ref Unix.gettimeofday
+
+let enabled () = !on
+let set_enabled b = on := b
+let set_clock f = clock := f
+let reset () = Hashtbl.reset table
+
+let cell name =
+  match Hashtbl.find_opt table name with
+  | Some c -> c
+  | None ->
+      let c = { count = 0; total = 0.; max = 0. } in
+      Hashtbl.replace table name c;
+      c
+
+let record name dt =
+  let c = cell name in
+  c.count <- c.count + 1;
+  c.total <- c.total +. dt;
+  if dt > c.max then c.max <- dt
+
+let time ~name f =
+  if not !on then f ()
+  else begin
+    let t0 = !clock () in
+    Fun.protect ~finally:(fun () -> record name (!clock () -. t0)) f
+  end
+
+type stat = {
+  name : string;
+  count : int;
+  total_s : float;
+  mean_s : float;
+  max_s : float;
+}
+
+let stats () =
+  Hashtbl.fold
+    (fun name (c : cell) acc ->
+      { name;
+        count = c.count;
+        total_s = c.total;
+        mean_s = (if c.count = 0 then 0. else c.total /. float_of_int c.count);
+        max_s = c.max }
+      :: acc)
+    table []
+  |> List.sort (fun a b -> compare b.total_s a.total_s)
+
+let export reg =
+  List.iter
+    (fun s ->
+      let series prefix v =
+        Registry.set (Registry.gauge reg (Printf.sprintf "%s{span=%S}" prefix s.name)) v
+      in
+      series "bgl_span_seconds_total" s.total_s;
+      series "bgl_span_calls" (float_of_int s.count);
+      series "bgl_span_max_seconds" s.max_s)
+    (stats ())
+
+let pp_profile ppf () =
+  match stats () with
+  | [] -> Format.fprintf ppf "no spans recorded (enable with Span.set_enabled)"
+  | l ->
+      Format.fprintf ppf "@[<v>%-36s %10s %12s %12s %12s@," "span" "calls" "total ms" "mean us"
+        "max us";
+      List.iter
+        (fun s ->
+          Format.fprintf ppf "%-36s %10d %12.2f %12.2f %12.2f@," s.name s.count
+            (s.total_s *. 1e3) (s.mean_s *. 1e6) (s.max_s *. 1e6))
+        l;
+      Format.fprintf ppf "@]"

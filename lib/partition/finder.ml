@@ -98,22 +98,31 @@ let find_prefix_with grid table ~volume =
 
 let find_prefix grid ~volume = find_prefix_with grid (Prefix.build grid) ~volume
 
+(* Span guards sit outside Span.time so the disabled path allocates no
+   closure: candidate enumeration runs millions of times per sweep. *)
 let find_with table grid ~volume =
   if volume <= 0 then invalid_arg "Finder.find_with: volume must be positive";
-  if volume > Grid.volume grid then [] else find_prefix_with grid table ~volume
+  if volume > Grid.volume grid then []
+  else if Bgl_obs.Span.enabled () then
+    Bgl_obs.Span.time ~name:"finder.find_with" (fun () -> find_prefix_with grid table ~volume)
+  else find_prefix_with grid table ~volume
+
+let exists_free_scan table grid ~volume =
+  let d = Grid.dims grid in
+  let wrap = Grid.wrap grid in
+  List.exists
+    (fun shape ->
+      Array.exists
+        (fun base -> Prefix.box_is_free table (Box.make base shape))
+        (bases_arr d ~wrap shape))
+    (Shapes.shapes_of_volume d volume)
 
 let exists_free_with table grid ~volume =
   if volume <= 0 then invalid_arg "Finder.exists_free_with: volume must be positive";
   if volume > Grid.volume grid then false
-  else
-    let d = Grid.dims grid in
-    let wrap = Grid.wrap grid in
-    List.exists
-      (fun shape ->
-        Array.exists
-          (fun base -> Prefix.box_is_free table (Box.make base shape))
-          (bases_arr d ~wrap shape))
-      (Shapes.shapes_of_volume d volume)
+  else if Bgl_obs.Span.enabled () then
+    Bgl_obs.Span.time ~name:"finder.exists_free" (fun () -> exists_free_scan table grid ~volume)
+  else exists_free_scan table grid ~volume
 
 (* Projection of partitions: for every z-extent starting at z0, keep a
    2-D map of columns that are free across the whole extent (AND-ed in
@@ -197,11 +206,14 @@ let find algo grid ~volume =
   if volume <= 0 then invalid_arg "Finder.find: volume must be positive";
   if volume > Grid.volume grid then []
   else
-    match algo with
-    | Naive -> find_naive grid ~volume
-    | Pop -> find_pop grid ~volume
-    | Shape_search -> find_shape_search grid ~volume
-    | Prefix -> find_prefix grid ~volume
+    let run () =
+      match algo with
+      | Naive -> find_naive grid ~volume
+      | Pop -> find_pop grid ~volume
+      | Shape_search -> find_shape_search grid ~volume
+      | Prefix -> find_prefix grid ~volume
+    in
+    if Bgl_obs.Span.enabled () then Bgl_obs.Span.time ~name:"finder.find" run else run ()
 
 let find_for_size algo grid ~size =
   match Shapes.round_up_volume (Grid.dims grid) size with
@@ -212,12 +224,6 @@ let exists_free grid ~volume =
   if volume <= 0 then invalid_arg "Finder.exists_free: volume must be positive";
   if volume > Grid.volume grid then false
   else
-    let d = Grid.dims grid in
-    let wrap = Grid.wrap grid in
-    let table = Prefix.build grid in
-    List.exists
-      (fun shape ->
-        Array.exists
-          (fun base -> Prefix.box_is_free table (Box.make base shape))
-          (bases_arr d ~wrap shape))
-      (Shapes.shapes_of_volume d volume)
+    let run () = exists_free_scan (Prefix.build grid) grid ~volume in
+    if Bgl_obs.Span.enabled () then Bgl_obs.Span.time ~name:"finder.exists_free" run
+    else run ()

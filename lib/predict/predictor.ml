@@ -69,7 +69,7 @@ let noisy ~accuracy ~false_positive ~seed index =
     node_will_fail = will_fail;
   }
 
-let partition_prob t ~combine ~nodes ~now ~horizon =
+let partition_prob_raw t ~combine ~nodes ~now ~horizon =
   match combine with
   | `Max ->
       List.fold_left (fun acc node -> Float.max acc (t.node_prob ~node ~now ~horizon)) 0. nodes
@@ -79,5 +79,16 @@ let partition_prob t ~combine ~nodes ~now ~horizon =
       in
       1. -. survive
 
+(* Predictor queries dominate the fault-aware policies' scheduling
+   passes; the span guard keeps the unprofiled path allocation-free. *)
+let partition_prob t ~combine ~nodes ~now ~horizon =
+  if Bgl_obs.Span.enabled () then
+    Bgl_obs.Span.time ~name:"predictor.partition_prob" (fun () ->
+        partition_prob_raw t ~combine ~nodes ~now ~horizon)
+  else partition_prob_raw t ~combine ~nodes ~now ~horizon
+
 let partition_will_fail t ~nodes ~now ~horizon =
-  List.exists (fun node -> t.node_will_fail ~node ~now ~horizon) nodes
+  if Bgl_obs.Span.enabled () then
+    Bgl_obs.Span.time ~name:"predictor.partition_will_fail" (fun () ->
+        List.exists (fun node -> t.node_will_fail ~node ~now ~horizon) nodes)
+  else List.exists (fun node -> t.node_will_fail ~node ~now ~horizon) nodes

@@ -1,7 +1,22 @@
 open Bgl_torus
 open Bgl_sim
 
+(* Every exported policy is wrapped so placement decisions show up in
+   the span profile under "placement.<family>". The guard sits outside
+   Span.time to keep the unprofiled path closure-free. *)
+let instrument span_name (policy : Policy.t) =
+  {
+    policy with
+    Policy.choose =
+      (fun ctx ~job ~volume ~candidates ->
+        if Bgl_obs.Span.enabled () then
+          Bgl_obs.Span.time ~name:span_name (fun () ->
+              policy.choose ctx ~job ~volume ~candidates)
+        else policy.choose ctx ~job ~volume ~candidates);
+  }
+
 let first_fit =
+  instrument "placement.first-fit"
   {
     Policy.name = "first-fit";
     choose = (fun _ctx ~job:_ ~volume:_ ~candidates -> match candidates with [] -> None | b :: _ -> Some b);
@@ -38,6 +53,7 @@ let argmin ?(stop = neg_infinity) score candidates =
       if s <= stop then Some first else go first s rest
 
 let mfp =
+  instrument "placement.mfp"
   {
     Policy.name = "mfp";
     choose =
@@ -49,6 +65,7 @@ let balancing ?(combine = `Product) ?decline_threshold ~predictor () =
   let name =
     Printf.sprintf "balancing[%s]" predictor.Bgl_predict.Predictor.name
   in
+  instrument "placement.balancing"
   {
     Policy.name;
     choose =
@@ -74,6 +91,7 @@ let tie_breaking ~predictor () =
   let name =
     Printf.sprintf "tie-breaking[%s]" predictor.Bgl_predict.Predictor.name
   in
+  instrument "placement.tie-breaking"
   {
     Policy.name;
     choose =
@@ -96,6 +114,7 @@ let tie_breaking ~predictor () =
   }
 
 let random ~seed =
+  instrument "placement.random"
   {
     Policy.name = Printf.sprintf "random(seed=%d)" seed;
     choose =
@@ -113,6 +132,7 @@ let random ~seed =
 
 let safest ~predictor () =
   let name = Printf.sprintf "safest[%s]" predictor.Bgl_predict.Predictor.name in
+  instrument "placement.safest"
   {
     Policy.name;
     choose =

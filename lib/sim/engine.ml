@@ -14,16 +14,69 @@ type outcome = {
   complete : bool;
 }
 
+(* Live instruments resolved once per run against the process-wide
+   registry (Bgl_obs.Runtime). With the default noop registry every
+   cell below is inert and the increments cost one branch. *)
+type obs = {
+  active : bool;  (* false iff the registry is noop: guards arguments
+                     that would cost something to compute (lengths) *)
+  ev_arrival : Bgl_obs.Registry.counter;
+  ev_finish : Bgl_obs.Registry.counter;
+  ev_failure : Bgl_obs.Registry.counter;
+  ev_repair : Bgl_obs.Registry.counter;
+  jobs_started : Bgl_obs.Registry.counter;
+  jobs_finished : Bgl_obs.Registry.counter;
+  jobs_killed : Bgl_obs.Registry.counter;
+  jobs_migrated : Bgl_obs.Registry.counter;
+  g_free_nodes : Bgl_obs.Registry.gauge;
+  g_queue_depth : Bgl_obs.Registry.gauge;
+  g_sim_time : Bgl_obs.Registry.gauge;
+  h_wait : Bgl_obs.Registry.histogram;
+  h_candidates : Bgl_obs.Registry.histogram;
+}
+
+let make_obs () =
+  let open Bgl_obs.Registry in
+  let reg = Bgl_obs.Runtime.registry () in
+  let ev kind = counter reg ~help:"simulation events handled, by kind"
+      (Printf.sprintf "bgl_sim_events_total{kind=%S}" kind)
+  in
+  {
+    active = not (is_noop reg);
+    ev_arrival = ev "arrival";
+    ev_finish = ev "finish";
+    ev_failure = ev "failure";
+    ev_repair = ev "repair";
+    jobs_started = counter reg ~help:"job (re)starts" "bgl_sim_job_starts_total";
+    jobs_finished = counter reg ~help:"job completions" "bgl_sim_job_finishes_total";
+    jobs_killed = counter reg ~help:"jobs killed by node failures" "bgl_sim_job_kills_total";
+    jobs_migrated = counter reg ~help:"job migrations" "bgl_sim_job_migrations_total";
+    g_free_nodes = gauge reg ~help:"free nodes after the last event" "bgl_sim_free_nodes";
+    g_queue_depth = gauge reg ~help:"jobs waiting in the queue" "bgl_sim_queue_depth";
+    g_sim_time = gauge reg ~help:"simulated clock (seconds)" "bgl_sim_time_seconds";
+    h_wait = histogram reg ~help:"per-job wait time (sim seconds)" "bgl_sim_job_wait_seconds";
+    h_candidates =
+      histogram reg ~help:"free-partition candidates per placement attempt"
+        ~buckets:[| 0.; 1.; 2.; 4.; 8.; 16.; 32.; 64.; 128.; 256.; 512. |]
+        "bgl_sim_placement_candidates";
+  }
+
 type state = {
   cfg : Config.t;
   policy : Policy.t;
   recorder : Recorder.t option;
+  trace : Recorder.t option;
+      (* streaming JSONL recorder wired from Bgl_obs.Runtime.trace_writer;
+         independent of the caller's recorder *)
+  obs : obs;
+  heartbeat : Bgl_obs.Heartbeat.t option;
   predictor : Bgl_predict.Predictor.t;
   grid : Grid.t;
   jobs : Job.t array;
   events : event Event_queue.t;
   metrics : Metrics.t;
   mutable queue : int list;  (* FCFS by (arrival, id); holds job indices *)
+  mutable queue_len : int;
   mutable queued_demand : int;  (* sum of requested sizes over the queue *)
   mutable running : int list;
   mutable arrivals_pending : int;
@@ -36,7 +89,9 @@ type state = {
 
 let invalidate_table st = st.ptable <- None
 
-let record st entry = Option.iter (fun r -> Recorder.record r entry) st.recorder
+let record st entry =
+  (match st.recorder with Some r -> Recorder.record r entry | None -> ());
+  match st.trace with Some r -> Recorder.record r entry | None -> ()
 
 let table st =
   match st.ptable with
@@ -60,10 +115,12 @@ let queue_insert st idx =
     | head :: rest -> head :: ins rest
   in
   st.queue <- ins st.queue;
+  st.queue_len <- st.queue_len + 1;
   st.queued_demand <- st.queued_demand + st.jobs.(idx).spec.size
 
 let queue_remove st idx =
   st.queue <- List.filter (fun i -> i <> idx) st.queue;
+  st.queue_len <- st.queue_len - 1;
   st.queued_demand <- st.queued_demand - st.jobs.(idx).spec.size
 
 (* ------------------------------------------------------------------ *)
@@ -126,10 +183,14 @@ let start_job st idx box =
   st.running <- idx :: st.running;
   record st
     (Recorder.Job_started { job = job.spec.id; time = st.now; box; restart = job.restarts > 0 });
+  Bgl_obs.Registry.inc st.obs.jobs_started;
   Event_queue.push st.events ~time:(st.now +. wall) (Finish (idx, job.generation))
 
 let try_place st (job : Job.t) =
-  match find_candidates st job.volume with
+  let candidates = find_candidates st job.volume in
+  if st.obs.active then
+    Bgl_obs.Registry.observe st.obs.h_candidates (float_of_int (List.length candidates));
+  match candidates with
   | [] -> None
   | candidates ->
       let ctx = Policy.make_ctx ~now:st.now st.grid in
@@ -267,6 +328,7 @@ let try_migrate st (head : Job.t) =
               let finish_time = r.finish_time +. st.cfg.migration_overhead in
               job.state <- Running { r with box = new_box; finish_time; generation = job.generation };
               Event_queue.push st.events ~time:finish_time (Finish (idx, job.generation));
+              Bgl_obs.Registry.inc st.obs.jobs_migrated;
               Metrics.record_migration st.metrics)
             moves;
           if moves <> [] then invalidate_table st;
@@ -317,6 +379,8 @@ let complete_run st idx =
       job.state <- Completed;
       job.completion <- Some st.now;
       record st (Recorder.Job_finished { job = job.spec.id; time = st.now });
+      Bgl_obs.Registry.inc st.obs.jobs_finished;
+      if st.obs.active then Bgl_obs.Registry.observe st.obs.h_wait (Job.wait_time job);
       Metrics.record_completion st.metrics job
 
 let kill_job st idx ~node =
@@ -347,6 +411,7 @@ let kill_job st idx ~node =
       job.lost_node_seconds <- job.lost_node_seconds +. lost;
       record st
         (Recorder.Job_killed { job = job.spec.id; time = st.now; node; lost_node_seconds = lost });
+      Bgl_obs.Registry.inc st.obs.jobs_killed;
       Metrics.record_job_kill st.metrics ~lost_node_seconds:lost;
       job.remaining <- r.work_at_start -. persisted;
       job.generation <- job.generation + 1;
@@ -356,14 +421,17 @@ let kill_job st idx ~node =
 
 let handle st = function
   | Arrival idx ->
+      Bgl_obs.Registry.inc st.obs.ev_arrival;
       st.arrivals_pending <- st.arrivals_pending - 1;
       queue_insert st idx
   | Finish (idx, gen) -> (
+      Bgl_obs.Registry.inc st.obs.ev_finish;
       let job = st.jobs.(idx) in
       match Job.current_run job with
       | Some r when r.generation = gen -> complete_run st idx
       | Some _ | None -> () (* stale event from a killed or migrated run *))
   | Failure node -> (
+      Bgl_obs.Registry.inc st.obs.ev_failure;
       Metrics.record_failure_event st.metrics;
       let victim =
         match Grid.owner st.grid node with
@@ -383,6 +451,7 @@ let handle st = function
             Event_queue.push st.events ~time:(st.now +. st.cfg.repair_time) (Repair node)
         | Some _ -> () (* already down: burst double-hit *))
   | Repair node -> (
+      Bgl_obs.Registry.inc st.obs.ev_repair;
       match Grid.owner st.grid node with
       | Some owner when owner = Grid.down_owner ->
           Grid.vacate_node st.grid node ~owner;
@@ -416,17 +485,28 @@ let run ?(config = Config.default) ?(predictor = Bgl_predict.Predictor.null) ?re
                       spec.size))
     |> Array.of_list
   in
+  let trace_writer = Bgl_obs.Runtime.trace_writer () in
+  let trace =
+    Option.map
+      (fun w ->
+        Recorder.create ~sink:(Bgl_obs.Sink.jsonl_writer ~to_json:Recorder.entry_to_json w) ())
+      trace_writer
+  in
   let st =
     {
       cfg = config;
       policy;
       recorder;
+      trace;
+      obs = make_obs ();
+      heartbeat = Bgl_obs.Runtime.heartbeat ();
       predictor;
       grid = Grid.create ~wrap:config.wrap config.dims;
       jobs;
       events = Event_queue.create ();
       metrics = Metrics.create ~nodes:(Dims.volume config.dims) ~slowdown_tau:config.slowdown_tau;
       queue = [];
+      queue_len = 0;
       queued_demand = 0;
       running = [];
       arrivals_pending = Array.length jobs;
@@ -434,6 +514,20 @@ let run ?(config = Config.default) ?(predictor = Bgl_predict.Predictor.null) ?re
       ptable = None;
     }
   in
+  (* Frame each run in the trace so multi-run sweeps stay parseable as
+     one stream. *)
+  let run_marker kind fields =
+    Option.iter
+      (fun w -> w (Bgl_obs.Jsonl.obj (("ev", Bgl_obs.Jsonl.string kind) :: fields)))
+      trace_writer
+  in
+  run_marker "run_begin"
+    [
+      ("log", Bgl_obs.Jsonl.string log.name);
+      ("failures", Bgl_obs.Jsonl.string failures.name);
+      ("policy", Bgl_obs.Jsonl.string policy.name);
+      ("jobs", Bgl_obs.Jsonl.int (Array.length jobs));
+    ];
   Array.iteri (fun idx (j : Job.t) -> Event_queue.push st.events ~time:j.spec.arrival (Arrival idx)) jobs;
   Array.iter
     (fun (e : Bgl_trace.Failure_log.event) -> Event_queue.push st.events ~time:e.time (Failure e.node))
@@ -457,15 +551,38 @@ let run ?(config = Config.default) ?(predictor = Bgl_predict.Predictor.null) ?re
             | None -> ()
           in
           drain ();
-          schedule_pass st;
+          (if Bgl_obs.Span.enabled () then
+             Bgl_obs.Span.time ~name:"engine.schedule_pass" (fun () -> schedule_pass st)
+           else schedule_pass st);
           if time >= first_arrival then
             Metrics.advance st.metrics ~now:time ~free:(Grid.free_count st.grid)
               ~queued_demand:st.queued_demand;
+          if st.obs.active then begin
+            Bgl_obs.Registry.set st.obs.g_sim_time st.now;
+            Bgl_obs.Registry.set st.obs.g_free_nodes (float_of_int (Grid.free_count st.grid));
+            Bgl_obs.Registry.set st.obs.g_queue_depth (float_of_int st.queue_len)
+          end;
+          (match st.heartbeat with
+          | None -> ()
+          | Some hb ->
+              Bgl_obs.Heartbeat.tick hb (fun () ->
+                  {
+                    Bgl_obs.Heartbeat.sim_time = st.now;
+                    queue_depth = st.queue_len;
+                    running = List.length st.running;
+                    free_nodes = Grid.free_count st.grid;
+                  }));
           loop ()
   in
   loop ();
   let completed = Array.to_list jobs |> List.filter Job.is_completed in
   let report = Metrics.report st.metrics ~jobs:completed ~total_jobs:(Array.length jobs) in
+  run_marker "run_end"
+    [
+      ("completed", Bgl_obs.Jsonl.int report.Metrics.completed_jobs);
+      ("makespan", Bgl_obs.Jsonl.float report.Metrics.makespan);
+    ];
+  Option.iter Recorder.flush trace;
   {
     name = Printf.sprintf "%s vs %s under %s" log.name failures.name policy.name;
     report;

@@ -21,7 +21,7 @@ let grow t =
     t.heap <- nheap
   end
 
-let push t ~time payload =
+let push_raw t ~time payload =
   if Float.is_nan time then invalid_arg "Event_queue.push: NaN time";
   let entry = { time; seq = t.next_seq; payload } in
   t.next_seq <- t.next_seq + 1;
@@ -44,9 +44,14 @@ let push t ~time payload =
     i := parent
   done
 
+let push t ~time payload =
+  if Bgl_obs.Span.enabled () then
+    Bgl_obs.Span.time ~name:"event_queue.push" (fun () -> push_raw t ~time payload)
+  else push_raw t ~time payload
+
 let peek t = if t.len = 0 then None else Some (t.heap.(0).time, t.heap.(0).payload)
 
-let pop t =
+let pop_raw t =
   if t.len = 0 then None
   else begin
     let top = t.heap.(0) in
@@ -72,6 +77,10 @@ let pop t =
     end;
     Some (top.time, top.payload)
   end
+
+let pop t =
+  if Bgl_obs.Span.enabled () then Bgl_obs.Span.time ~name:"event_queue.pop" (fun () -> pop_raw t)
+  else pop_raw t
 
 let pop_if_at t ~time =
   match peek t with

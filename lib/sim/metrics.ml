@@ -137,6 +137,28 @@ let pp_report ppf r =
     r.median_bounded_slowdown r.p90_bounded_slowdown r.util r.unused r.lost r.busy_fraction
     r.failures_injected r.job_kills r.restarts r.lost_work r.migrations r.checkpoints
 
+let report_to_registry reg r =
+  let g name help v = Bgl_obs.Registry.set (Bgl_obs.Registry.gauge reg ~help name) v in
+  let gi name help v = g name help (float_of_int v) in
+  gi "bgl_report_jobs_total" "jobs submitted to the run" r.total_jobs;
+  gi "bgl_report_jobs_completed" "jobs that ran to completion" r.completed_jobs;
+  g "bgl_report_wait_seconds_avg" "mean job wait time" r.avg_wait;
+  g "bgl_report_response_seconds_avg" "mean job response time" r.avg_response;
+  g "bgl_report_bounded_slowdown_avg" "mean bounded slowdown" r.avg_bounded_slowdown;
+  g "bgl_report_bounded_slowdown_median" "median bounded slowdown" r.median_bounded_slowdown;
+  g "bgl_report_bounded_slowdown_p90" "90th percentile bounded slowdown" r.p90_bounded_slowdown;
+  g "bgl_report_util" "omega_util: useful work / capacity" r.util;
+  g "bgl_report_unused" "omega_unused: undemanded free capacity / capacity" r.unused;
+  g "bgl_report_lost" "omega_lost: 1 - util - unused" r.lost;
+  g "bgl_report_busy_fraction" "node-busy integral / capacity" r.busy_fraction;
+  g "bgl_report_makespan_seconds" "simulation span T" r.makespan;
+  gi "bgl_report_failures_injected" "failure events injected" r.failures_injected;
+  gi "bgl_report_job_kills" "jobs killed by failures" r.job_kills;
+  gi "bgl_report_restarts" "job restarts" r.restarts;
+  g "bgl_report_lost_work_node_seconds" "node-seconds destroyed by kills" r.lost_work;
+  gi "bgl_report_migrations" "jobs migrated" r.migrations;
+  gi "bgl_report_checkpoints" "checkpoints taken" r.checkpoints
+
 let report_to_csv_header =
   "total_jobs,completed_jobs,avg_wait,avg_response,avg_bounded_slowdown,median_bounded_slowdown,p90_bounded_slowdown,util,unused,lost,busy_fraction,makespan,failures_injected,job_kills,restarts,lost_work,migrations,checkpoints"
 

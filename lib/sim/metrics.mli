@@ -57,5 +57,11 @@ val report : t -> jobs:Job.t list -> total_jobs:int -> report
     and trailing failure events must not dilute them). *)
 
 val pp_report : Format.formatter -> report -> unit
+
+val report_to_registry : Bgl_obs.Registry.t -> report -> unit
+(** Publish every report field as a [bgl_report_*] gauge, so one
+    [--metrics-out] snapshot carries the paper's capacity and timing
+    metrics next to the live engine counters. *)
+
 val report_to_csv_header : string
 val report_to_csv_row : report -> string

@@ -8,16 +8,44 @@ type entry =
   | Node_failed of { time : float; node : int; victim : int option }
   | Node_repaired of { time : float; node : int }
 
-type t = { mutable entries : entry list; mutable length : int }
+type t = { sink : entry Bgl_obs.Sink.t }
 
-let create () = { entries = []; length = 0 }
+let create ?sink () =
+  { sink = (match sink with Some s -> s | None -> Bgl_obs.Sink.buffer ()) }
 
-let record t entry =
-  t.entries <- entry :: t.entries;
-  t.length <- t.length + 1
+let jsonl_of_box (b : Box.t) =
+  Printf.sprintf "{\"x\":%d,\"y\":%d,\"z\":%d,\"sx\":%d,\"sy\":%d,\"sz\":%d}" b.base.x b.base.y
+    b.base.z b.shape.sx b.shape.sy b.shape.sz
 
-let entries t = List.rev t.entries
-let length t = t.length
+let entry_to_json entry =
+  let open Bgl_obs.Jsonl in
+  match entry with
+  | Job_started s ->
+      obj
+        [ ("ev", string "job_start"); ("t", float s.time); ("job", int s.job);
+          ("box", jsonl_of_box s.box); ("restart", bool s.restart) ]
+  | Job_killed k ->
+      obj
+        [ ("ev", string "job_kill"); ("t", float k.time); ("job", int k.job);
+          ("node", int k.node); ("lost_node_s", float k.lost_node_seconds) ]
+  | Job_finished f -> obj [ ("ev", string "job_finish"); ("t", float f.time); ("job", int f.job) ]
+  | Job_migrated m ->
+      obj
+        [ ("ev", string "job_migrate"); ("t", float m.time); ("job", int m.job);
+          ("from", jsonl_of_box m.from_box); ("to", jsonl_of_box m.to_box) ]
+  | Node_failed n ->
+      obj
+        [ ("ev", string "node_fail"); ("t", float n.time); ("node", int n.node);
+          ("victim", match n.victim with Some j -> int j | None -> "null") ]
+  | Node_repaired n -> obj [ ("ev", string "node_repair"); ("t", float n.time); ("node", int n.node) ]
+
+let jsonl channel = create ~sink:(Bgl_obs.Sink.jsonl_channel ~to_json:entry_to_json channel) ()
+
+let record t entry = Bgl_obs.Sink.emit t.sink entry
+let entries t = Bgl_obs.Sink.contents t.sink
+let length t = Bgl_obs.Sink.count t.sink
+let is_buffered t = Bgl_obs.Sink.is_buffered t.sink
+let flush t = Bgl_obs.Sink.flush t.sink
 
 let starts_of t ~job =
   List.filter_map

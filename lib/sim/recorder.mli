@@ -22,23 +22,44 @@ type entry =
 
 type t
 
-val create : unit -> t
+val create : ?sink:entry Bgl_obs.Sink.t -> unit -> t
+(** Defaults to a buffered sink, which retains every entry in memory —
+    fine for figure-scale runs, unbounded for long sweeps. Pass a
+    JSONL sink (or {!jsonl}) to stream entries to disk in constant
+    memory instead, or a tee to do both. *)
+
+val jsonl : out_channel -> t
+(** A recorder streaming one JSON line per entry to the channel (the
+    schema is {!entry_to_json}'s). The caller owns the channel. *)
+
+val entry_to_json : entry -> string
+(** One compact JSON object, no trailing newline. See the
+    "Observability" section of README.md for the schema. *)
 
 val record : t -> entry -> unit
 (** Append an entry (engine-facing). *)
 
 val entries : t -> entry list
-(** All entries in recording order. *)
+(** All entries in recording order — for recorders over a buffered
+    sink; streaming recorders return []. *)
 
 val length : t -> int
+(** Entries recorded so far (maintained by every sink kind). *)
+
+val is_buffered : t -> bool
+(** Whether {!entries} reflects the full run. *)
+
+val flush : t -> unit
+(** Flush a streaming recorder's underlying channel. *)
 
 val starts_of : t -> job:int -> (float * Box.t) list
-(** Every (re)start of a job, in time order. *)
+(** Every (re)start of a job, in time order (buffered sinks only). *)
 
 val kills_of : t -> job:int -> (float * int) list
-(** Every kill of a job as [(time, node)]. *)
+(** Every kill of a job as [(time, node)] (buffered sinks only). *)
 
 val busiest_victim : t -> (int * int) option
-(** The job killed most often, as [(job, kills)]. *)
+(** The job killed most often, as [(job, kills)] (buffered sinks
+    only). *)
 
 val pp_entry : Format.formatter -> entry -> unit
