@@ -129,12 +129,26 @@ let obs_tests () =
       Bechamel.Test.make ~name:"counter/inc-1k/live" (inc_1k live_counter);
     ]
 
+(* Domain-pool overhead/scaling on a CPU-bound kernel. On a single-core
+   host d>1 only measures the spawn+join cost; on a multi-core one it
+   shows the scaling headroom of parallel sweeps. *)
+let parallel_tests () =
+  let half = busy_grid ~seed:3 ~fraction:0.5 in
+  let items = Array.make 16 half in
+  let map_d d =
+    Bechamel.Test.make
+      ~name:(Printf.sprintf "pool/map-mfp-16/d=%d" d)
+      (Bechamel.Staged.stage (fun () ->
+           ignore (Bgl_parallel.Pool.map ~domains:d (fun g -> Mfp.volume g) items)))
+  in
+  Bechamel.Test.make_grouped ~name:"parallel" [ map_d 1; map_d 2; map_d 4 ]
+
 let run_micro () =
   Format.printf
     "=== micro: partition finders (Appendix 9 lineage), engine kernels, obs overhead ===@.";
   let tests =
     Bechamel.Test.make_grouped ~name:"bgl"
-      [ finder_tests (); event_queue_tests (); obs_tests () ]
+      [ finder_tests (); event_queue_tests (); obs_tests (); parallel_tests () ]
   in
   let cfg = Bechamel.Benchmark.cfg ~limit:2000 ~quota:(Bechamel.Time.second 0.5) () in
   let raw = Bechamel.Benchmark.all cfg [ Bechamel.Toolkit.Instance.monotonic_clock ] tests in
@@ -157,25 +171,52 @@ let run_micro () =
 let scale_of_args args =
   if List.mem "--full" args then Bgl_core.Figures.full else Bgl_core.Figures.quick
 
-let run_figs scale =
+(* [--jobs N] must come out of the argument list before the positional
+   split below, or its value would be read as a sub-command. *)
+let parse_jobs args =
+  let rec go acc = function
+    | [] -> (1, List.rev acc)
+    | "--jobs" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some 0 -> (Bgl_parallel.Pool.recommended (), List.rev_append acc rest)
+        | Some d when d > 0 -> (d, List.rev_append acc rest)
+        | Some _ | None ->
+            Format.eprintf "--jobs expects a non-negative integer (got %S)@." n;
+            exit 1)
+    | [ "--jobs" ] ->
+        Format.eprintf "--jobs expects a value@.";
+        exit 1
+    | a :: rest -> go (a :: acc) rest
+  in
+  go [] args
+
+let run_figs ~domains scale =
   Format.printf "=== paper figures (%d jobs/run, %d seeds) ===@.@." scale.Bgl_core.Figures.n_jobs
     (List.length scale.Bgl_core.Figures.seeds);
-  List.iter (fun (_, f) -> List.iter emit_figure (f scale)) Bgl_core.Figures.producers
+  List.iter
+    (fun (_, f) -> List.iter emit_figure (Bgl_core.Figures.produce ~domains f scale))
+    Bgl_core.Figures.producers
 
-let run_one_fig scale id =
+let run_one_fig ~domains scale id =
   match Bgl_core.Figures.by_id id with
-  | Some f -> List.iter emit_figure (f scale)
+  | Some f -> List.iter emit_figure (Bgl_core.Figures.produce ~domains f scale)
   | None ->
       Format.eprintf "unknown figure %S (try 3..10 or intro)@." id;
       exit 1
 
-let run_baseline scale = List.iter emit_figure (Bgl_core.Baseline.all scale)
+let run_baseline ~domains scale =
+  List.iter emit_figure
+    (Bgl_core.Figures.produce ~domains (fun scale -> Bgl_core.Baseline.all scale) scale)
 
-let run_ablations scale = function
-  | None -> List.iter emit_figure (Bgl_core.Ablations.all scale)
+let run_ablations ~domains scale = function
+  | None ->
+      List.iter emit_figure
+        (Bgl_core.Figures.produce ~domains (fun scale -> Bgl_core.Ablations.all scale) scale)
   | Some id -> (
       match Bgl_core.Ablations.by_id id with
-      | Some f -> emit_figure (f scale)
+      | Some f ->
+          List.iter emit_figure
+            (Bgl_core.Figures.produce ~domains (fun scale -> [ f scale ]) scale)
       | None ->
           Format.eprintf "unknown ablation %S@." id;
           exit 1)
@@ -183,22 +224,24 @@ let run_ablations scale = function
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let t0 = Unix.gettimeofday () in
+  let domains, args = parse_jobs args in
   let positional =
     List.filter (fun a -> not (String.length a >= 2 && String.sub a 0 2 = "--")) args
   in
   (match positional with
   | [] | [ "all" ] ->
       run_micro ();
-      run_figs (scale_of_args args);
-      run_baseline (scale_of_args args);
-      run_ablations (scale_of_args args) None
+      run_figs ~domains (scale_of_args args);
+      run_baseline ~domains (scale_of_args args);
+      run_ablations ~domains (scale_of_args args) None
   | [ "micro" ] -> run_micro ()
-  | [ "figs" ] -> run_figs (scale_of_args args)
-  | [ "fig"; id ] -> run_one_fig (scale_of_args args) id
-  | [ "ablate" ] -> run_ablations (scale_of_args args) None
-  | [ "ablate"; id ] -> run_ablations (scale_of_args args) (Some id)
-  | [ "baseline" ] -> run_baseline (scale_of_args args)
+  | [ "figs" ] -> run_figs ~domains (scale_of_args args)
+  | [ "fig"; id ] -> run_one_fig ~domains (scale_of_args args) id
+  | [ "ablate" ] -> run_ablations ~domains (scale_of_args args) None
+  | [ "ablate"; id ] -> run_ablations ~domains (scale_of_args args) (Some id)
+  | [ "baseline" ] -> run_baseline ~domains (scale_of_args args)
   | _ ->
-      Format.eprintf "usage: main.exe [all|micro|figs|fig <id>|ablate [<id>]|baseline] [--full]@.";
+      Format.eprintf
+        "usage: main.exe [all|micro|figs|fig <id>|ablate [<id>]|baseline] [--full] [--jobs N]@.";
       exit 1);
   Format.printf "total wall time: %.1f s@." (Unix.gettimeofday () -. t0)

@@ -13,8 +13,13 @@ let ids =
 
 let full = Arg.(value & flag & info [ "full" ] ~doc:"Full scale: 3000 jobs, 3 seeds.")
 
+let n_jobs =
+  Arg.(value & opt (some int) None & info [ "n-jobs" ] ~docv:"N" ~doc:"Override jobs per run.")
+
 let jobs =
-  Arg.(value & opt (some int) None & info [ "jobs" ] ~docv:"N" ~doc:"Override jobs per run.")
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N"
+         ~doc:"Simulate sweep cells on N OCaml domains (default 1 = sequential). Output is \
+               byte-identical for every N; 0 = one per core.")
 
 let seeds =
   Arg.(value & opt (some (list int)) None & info [ "seeds" ] ~docv:"S1,S2,..."
@@ -40,12 +45,16 @@ let progress =
          ~doc:"Print a heartbeat line to stderr every N simulation events (cumulative across \
                runs).")
 
-let run ids full jobs seeds out chart metrics_out trace_out progress =
+let run ids full n_jobs jobs seeds out chart metrics_out trace_out progress =
   let obs = Bgl_core.Obs_cli.setup ?metrics_out ?trace_out ?progress () in
+  let domains = if jobs = 0 then Bgl_parallel.Pool.recommended () else jobs in
+  if domains < 1 then (
+    prerr_endline "bgl: --jobs must be >= 0";
+    exit 1);
   let scale = if full then Bgl_core.Figures.full else Bgl_core.Figures.quick in
   let scale =
     { scale with
-      Bgl_core.Figures.n_jobs = Option.value jobs ~default:scale.Bgl_core.Figures.n_jobs;
+      Bgl_core.Figures.n_jobs = Option.value n_jobs ~default:scale.Bgl_core.Figures.n_jobs;
       seeds = Option.value seeds ~default:scale.Bgl_core.Figures.seeds;
     }
   in
@@ -70,7 +79,7 @@ let run ids full jobs seeds out chart metrics_out trace_out progress =
   let code =
     match ids with
     | [] ->
-        List.iter emit (Bgl_core.Figures.all scale);
+        List.iter emit (Bgl_core.Figures.all ~domains scale);
         0
     | ids -> (
         let resolved = List.map resolve ids in
@@ -81,8 +90,10 @@ let run ids full jobs seeds out chart metrics_out trace_out progress =
         | Some (Ok _) | None ->
             List.iter
               (function
-                | Ok (`Figures f) -> List.iter emit (f scale)
-                | Ok (`Ablation f) -> emit (f scale)
+                | Ok (`Figures f) -> List.iter emit (Bgl_core.Figures.produce ~domains f scale)
+                | Ok (`Ablation f) ->
+                    List.iter emit
+                      (Bgl_core.Figures.produce ~domains (fun scale -> [ f scale ]) scale)
                 | Error _ -> ())
               resolved;
             0)
@@ -93,6 +104,8 @@ let run ids full jobs seeds out chart metrics_out trace_out progress =
 let cmd =
   let doc = "regenerate the paper's evaluation figures and ablations" in
   Cmd.v (Cmd.info "bgl-sweep" ~doc)
-    Term.(const run $ ids $ full $ jobs $ seeds $ out $ chart $ metrics_out $ trace_out $ progress)
+    Term.(
+      const run $ ids $ full $ n_jobs $ jobs $ seeds $ out $ chart $ metrics_out $ trace_out
+      $ progress)
 
 let () = exit (Cmd.eval' cmd)

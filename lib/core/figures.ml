@@ -20,14 +20,74 @@ let cache : (string, Bgl_sim.Metrics.report) Hashtbl.t = Hashtbl.create 256
 
 let clear_cache () = Hashtbl.reset cache
 
+(* Parallelism works by replaying a figure producer twice. A first
+   "collect" pass runs it with simulation stubbed out — [report_of]
+   records each scenario it is asked for and answers with a dummy
+   report — which yields the cell list without running anything. The
+   cells are then simulated on a domain pool, their reports installed
+   in [cache] from the main domain only (no locking, no cross-domain
+   table), and the producer re-runs normally, all hits. Scenario runs
+   are deterministic in the scenario value, so the result is
+   bit-identical to a sequential sweep. *)
+let collecting : Scenario.t list ref option ref = ref None
+
+let dummy_report : Bgl_sim.Metrics.report =
+  {
+    total_jobs = 0;
+    completed_jobs = 0;
+    avg_wait = 0.;
+    avg_response = 0.;
+    avg_bounded_slowdown = 0.;
+    median_bounded_slowdown = 0.;
+    p90_bounded_slowdown = 0.;
+    util = 0.;
+    unused = 0.;
+    lost = 0.;
+    busy_fraction = 0.;
+    makespan = 0.;
+    failures_injected = 0;
+    job_kills = 0;
+    restarts = 0;
+    lost_work = 0.;
+    migrations = 0;
+    checkpoints = 0;
+  }
+
 let report_of scenario =
   let key = Scenario.label scenario in
   match Hashtbl.find_opt cache key with
   | Some r -> r
-  | None ->
-      let r = (Scenario.run scenario).report in
-      Hashtbl.replace cache key r;
-      r
+  | None -> (
+      match !collecting with
+      | Some acc ->
+          acc := scenario :: !acc;
+          dummy_report
+      | None ->
+          let r = (Scenario.run scenario).report in
+          Hashtbl.replace cache key r;
+          r)
+
+let prefetch ~domains thunk =
+  let acc = ref [] in
+  collecting := Some acc;
+  Fun.protect ~finally:(fun () -> collecting := None) (fun () -> ignore (thunk ()));
+  (* Dedupe cells the producer asks for repeatedly (and any already
+     cached): one simulation per distinct scenario label. *)
+  let seen = Hashtbl.create 256 in
+  let cells =
+    List.filter
+      (fun s ->
+        let key = Scenario.label s in
+        if Hashtbl.mem cache key || Hashtbl.mem seen key then false
+        else begin
+          Hashtbl.replace seen key ();
+          true
+        end)
+      (List.rev !acc)
+    |> Array.of_list
+  in
+  let reports = Bgl_parallel.Pool.map ~domains (fun s -> (Scenario.run s).report) cells in
+  Array.iteri (fun i s -> Hashtbl.replace cache (Scenario.label s) reports.(i)) cells
 
 let cached_report = report_of
 let mean = Bgl_stats.Summary.mean
@@ -257,4 +317,9 @@ let producers =
     ("fig10", fig10);
   ]
 
-let all scale = List.concat_map (fun (_, f) -> f scale) producers
+let produce ?(domains = 1) f scale =
+  if domains > 1 then prefetch ~domains (fun () -> f scale);
+  f scale
+
+let all ?(domains = 1) scale =
+  produce ~domains (fun scale -> List.concat_map (fun (_, f) -> f scale) producers) scale

@@ -48,8 +48,19 @@ val fig10 : scale -> Series.figure list
 val by_id : string -> (scale -> Series.figure list) option
 (** Lookup by ["3"], ["fig3"], ["intro"], ... *)
 
-val all : scale -> Series.figure list
-(** Every figure, in paper order. *)
+val all : ?domains:int -> scale -> Series.figure list
+(** Every figure, in paper order. [domains] > 1 simulates the sweep
+    cells on that many OCaml domains; the output is bit-identical to
+    [domains = 1] (default) because scenario runs are deterministic in
+    the scenario value and the shared memo cache is only written from
+    the calling domain. *)
+
+val produce : ?domains:int -> (scale -> Series.figure list) -> scale -> Series.figure list
+(** [produce ~domains f scale] evaluates a figure producer with its
+    scenario cells pre-simulated on [domains] domains (a first pass
+    replays [f] with simulation stubbed out to discover the cells,
+    then [f] re-runs against the warmed cache). [~domains:1] is just
+    [f scale]. *)
 
 val producers : (string * (scale -> Series.figure list)) list
 (** The figures as named thunks, in paper order — lets drivers render

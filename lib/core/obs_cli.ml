@@ -35,11 +35,10 @@ let setup ?metrics_out ?trace_out ?progress () =
     Option.map
       (fun path ->
         let oc = open_out_or_die path in
-        Bgl_obs.Runtime.set_trace_writer
-          (Some
-             (fun line ->
-               output_string oc line;
-               output_char oc '\n'));
+        (* One [output_string] per line: OCaml 5 channels lock per
+           operation, so whole lines stay atomic even when worker
+           domains trace into the same channel. *)
+        Bgl_obs.Runtime.set_trace_writer (Some (fun line -> output_string oc (line ^ "\n")));
         oc)
       trace_out
   in

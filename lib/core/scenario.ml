@@ -69,11 +69,26 @@ let label t =
     (String.sub config_digest 0 8)
     (if t.variant_tag = "" then "" else " tag=" ^ t.variant_tag)
 
+(* Every stochastic subsystem of a run draws from its own stream,
+   derived from the scenario seed by [Rng.split] under a subsystem
+   label. Two properties matter:
+
+   - Determinism in the scenario value alone: no stream is shared
+     between scenarios, so sweep cells can run in any order — or on
+     any domain of a parallel pool — and stay bit-identical to a
+     sequential sweep.
+   - The labels name the {e subsystem}, not the scenario: scenarios
+     differing only in algorithm replay the same workload and failure
+     trace, which keeps cross-algorithm comparisons paired. *)
+let subseed t label =
+  let master = Bgl_stats.Rng.create ~seed:t.seed in
+  Int64.to_int (Int64.shift_right_logical (Bgl_stats.Rng.bits64 (Bgl_stats.Rng.split master ~label)) 2)
+
 let run t =
   let volume = Bgl_torus.Dims.volume t.config.dims in
   let log =
     Bgl_workload.Synthetic.generate
-      { profile = t.profile; n_jobs = t.n_jobs; max_nodes = volume; seed = t.seed }
+      { profile = t.profile; n_jobs = t.n_jobs; max_nodes = volume; seed = subseed t "workload" }
   in
   let log = Bgl_trace.Job_log.scale_runtime log ~c:t.load in
   let n_events = injected_failures t in
@@ -85,10 +100,10 @@ let run t =
          drains. *)
       let span = Bgl_trace.Job_log.span log *. 1.5 in
       Bgl_failure.Generator.generate
-        (t.failure_spec_of ~span ~volume ~n_events ~seed:(t.seed lxor 0x5DEECE))
+        (t.failure_spec_of ~span ~volume ~n_events ~seed:(subseed t "failures"))
   in
   let index = Bgl_predict.Failure_index.of_log failures in
-  let predictor_seed = t.seed lxor 0x2545F in
+  let predictor_seed = subseed t "predictor" in
   let policy =
     match t.algo with
     | First_fit -> Bgl_sched.Placement.first_fit

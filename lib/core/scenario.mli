@@ -70,4 +70,10 @@ val algo_label : algo -> string
 val label : t -> string
 
 val run : t -> Bgl_sim.Engine.outcome
-(** Deterministic in the scenario value. *)
+(** Deterministic in the scenario value: every stochastic subsystem
+    (workload, failure trace, predictor) draws from its own stream
+    split from [seed] under a subsystem label, so no state is shared
+    between runs — sweep cells may execute in any order, on any
+    domain, with identical results. Scenarios differing only in
+    [algo] see the same workload and failure trace (paired
+    comparisons). *)

@@ -4,6 +4,7 @@ type t = {
   every : int;
   out : Format.formatter;
   clock : unit -> float;
+  m : Mutex.t;  (* one heartbeat may be shared by every worker domain *)
   mutable events : int;
   mutable nbeats : int;
   mutable last_wall : float;
@@ -12,23 +13,33 @@ type t = {
 
 let create ?(out = Format.err_formatter) ?(clock = Unix.gettimeofday) ~every () =
   if every < 1 then invalid_arg "Heartbeat.create: every must be >= 1";
-  { every; out; clock; events = 0; nbeats = 0; last_wall = clock (); last_events = 0 }
+  {
+    every;
+    out;
+    clock;
+    m = Mutex.create ();
+    events = 0;
+    nbeats = 0;
+    last_wall = clock ();
+    last_events = 0;
+  }
 
 let tick t snapshot =
-  t.events <- t.events + 1;
-  if t.events mod t.every = 0 then begin
-    let s = snapshot () in
-    let wall = t.clock () in
-    let dt = wall -. t.last_wall in
-    let rate =
-      if dt > 0. then float_of_int (t.events - t.last_events) /. dt else Float.infinity
-    in
-    t.last_wall <- wall;
-    t.last_events <- t.events;
-    t.nbeats <- t.nbeats + 1;
-    Format.fprintf t.out "[obs] events=%d sim_t=%.1f queue=%d running=%d free=%d ev/s=%.0f@." t.events
-      s.sim_time s.queue_depth s.running s.free_nodes rate
-  end
+  Mutex.protect t.m (fun () ->
+      t.events <- t.events + 1;
+      if t.events mod t.every = 0 then begin
+        let s = snapshot () in
+        let wall = t.clock () in
+        let dt = wall -. t.last_wall in
+        let rate =
+          if dt > 0. then float_of_int (t.events - t.last_events) /. dt else Float.infinity
+        in
+        t.last_wall <- wall;
+        t.last_events <- t.events;
+        t.nbeats <- t.nbeats + 1;
+        Format.fprintf t.out "[obs] events=%d sim_t=%.1f queue=%d running=%d free=%d ev/s=%.0f@."
+          t.events s.sim_time s.queue_depth s.running s.free_nodes rate
+      end)
 
 let ticks t = t.events
 let beats t = t.nbeats

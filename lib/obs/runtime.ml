@@ -1,15 +1,41 @@
-let registry_ref = ref Registry.noop
-let heartbeat_ref : Heartbeat.t option ref = ref None
-let trace_ref : (string -> unit) option ref = ref None
+type snapshot = {
+  registry : Registry.t;
+  heartbeat : Heartbeat.t option;
+  trace : (string -> unit) option;
+}
 
-let registry () = !registry_ref
-let set_registry r = registry_ref := r
-let heartbeat () = !heartbeat_ref
-let set_heartbeat h = heartbeat_ref := h
-let trace_writer () = !trace_ref
-let set_trace_writer w = trace_ref := w
+let inert = { registry = Registry.noop; heartbeat = None; trace = None }
 
-let reset () =
-  registry_ref := Registry.noop;
-  heartbeat_ref := None;
-  trace_ref := None
+(* Domain-local: each domain sees its own configuration, so a worker
+   can never race the main domain's [set_*] calls. Workers of a
+   parallel sweep start from the inert default; the pool copies the
+   spawner's configuration over with {!snapshot}/{!install}. The state
+   record is mutable (rather than re-binding the DLS slot) so the
+   accessors stay allocation-free. *)
+type state = {
+  mutable registry_v : Registry.t;
+  mutable heartbeat_v : Heartbeat.t option;
+  mutable trace_v : (string -> unit) option;
+}
+
+let key : state Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { registry_v = Registry.noop; heartbeat_v = None; trace_v = None })
+
+let registry () = (Domain.DLS.get key).registry_v
+let set_registry r = (Domain.DLS.get key).registry_v <- r
+let heartbeat () = (Domain.DLS.get key).heartbeat_v
+let set_heartbeat h = (Domain.DLS.get key).heartbeat_v <- h
+let trace_writer () = (Domain.DLS.get key).trace_v
+let set_trace_writer w = (Domain.DLS.get key).trace_v <- w
+
+let snapshot () =
+  let s = Domain.DLS.get key in
+  { registry = s.registry_v; heartbeat = s.heartbeat_v; trace = s.trace_v }
+
+let install { registry; heartbeat; trace } =
+  let s = Domain.DLS.get key in
+  s.registry_v <- registry;
+  s.heartbeat_v <- heartbeat;
+  s.trace_v <- trace
+
+let reset () = install inert

@@ -1,4 +1,4 @@
-(** Process-wide observability configuration.
+(** Per-domain observability configuration.
 
     The engine and the instrumented libraries read their observability
     environment from here instead of threading it through every call
@@ -6,7 +6,13 @@
     are fully inert: the {!Registry.noop} registry, no heartbeat, no
     trace writer — so an unconfigured process pays only dead branches.
     CLIs flip the switches at startup ([--metrics-out], [--progress],
-    [--trace-out]). *)
+    [--trace-out]).
+
+    The configuration is domain-local: a freshly spawned domain starts
+    inert, and [set_*] calls never race across domains. The parallel
+    pool propagates the spawning domain's configuration to its workers
+    with {!snapshot}/{!install} — the shared {!Registry.t} inside is
+    itself domain-safe, so workers can feed one registry. *)
 
 val registry : unit -> Registry.t
 (** Defaults to {!Registry.noop}. *)
@@ -23,5 +29,13 @@ val trace_writer : unit -> (string -> unit) option
 
 val set_trace_writer : (string -> unit) option -> unit
 
+type snapshot
+(** The current domain's full configuration, as one value. *)
+
+val snapshot : unit -> snapshot
+
+val install : snapshot -> unit
+(** Make the current domain's configuration equal to [snapshot]. *)
+
 val reset : unit -> unit
-(** Back to the inert defaults (tests). *)
+(** Back to the inert defaults, for the current domain (tests). *)

@@ -1,15 +1,30 @@
 type cell = { mutable count : int; mutable total : float; mutable max : float }
 
-let table : (string, cell) Hashtbl.t = Hashtbl.create 64
-let on = ref false
+(* Accumulation is domain-local so the domains of a parallel sweep
+   never contend (or race) on one table; every domain's table is
+   registered here on first use so {!stats} can merge them after the
+   workers join. Tables of finished domains stay registered — their
+   spans still belong in the profile. *)
+let all_tables : (string, cell) Hashtbl.t list ref = ref []
+let all_tables_mutex = Mutex.create ()
+
+let table_key : (string, cell) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let t = Hashtbl.create 64 in
+      Mutex.protect all_tables_mutex (fun () -> all_tables := t :: !all_tables);
+      t)
+
+let on = Atomic.make false
 let clock = ref Unix.gettimeofday
 
-let enabled () = !on
-let set_enabled b = on := b
+let enabled () = Atomic.get on
+let set_enabled b = Atomic.set on b
 let set_clock f = clock := f
-let reset () = Hashtbl.reset table
+
+let reset () = Mutex.protect all_tables_mutex (fun () -> List.iter Hashtbl.reset !all_tables)
 
 let cell name =
+  let table = Domain.DLS.get table_key in
   match Hashtbl.find_opt table name with
   | Some c -> c
   | None ->
@@ -24,7 +39,7 @@ let record name dt =
   if dt > c.max then c.max <- dt
 
 let time ~name f =
-  if not !on then f ()
+  if not (Atomic.get on) then f ()
   else begin
     let t0 = !clock () in
     Fun.protect ~finally:(fun () -> record name (!clock () -. t0)) f
@@ -39,6 +54,21 @@ type stat = {
 }
 
 let stats () =
+  let merged : (string, cell) Hashtbl.t = Hashtbl.create 64 in
+  Mutex.protect all_tables_mutex (fun () ->
+      List.iter
+        (fun table ->
+          Hashtbl.iter
+            (fun name (c : cell) ->
+              match Hashtbl.find_opt merged name with
+              | Some m ->
+                  m.count <- m.count + c.count;
+                  m.total <- m.total +. c.total;
+                  if c.max > m.max then m.max <- c.max
+              | None ->
+                  Hashtbl.replace merged name { count = c.count; total = c.total; max = c.max })
+            table)
+        !all_tables);
   Hashtbl.fold
     (fun name (c : cell) acc ->
       { name;
@@ -47,7 +77,7 @@ let stats () =
         mean_s = (if c.count = 0 then 0. else c.total /. float_of_int c.count);
         max_s = c.max }
       :: acc)
-    table []
+    merged []
   |> List.sort (fun a b -> compare b.total_s a.total_s)
 
 let export reg =

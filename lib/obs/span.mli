@@ -1,7 +1,9 @@
 (** Hot-path span timing.
 
     A span names a region of code; {!time} accumulates call count,
-    total and maximum duration per name into a global table. Timing is
+    total and maximum duration per name into a domain-local table
+    ({!stats} merges the tables of every domain that recorded spans,
+    so parallel sweeps profile without contention). Timing is
     off by default: the fast path of {!time} is a single flag test
     plus the call, so instrumented library code stays essentially free
     until a profile is requested ({!set_enabled}). Call sites on very
@@ -31,10 +33,14 @@ type stat = {
 }
 
 val stats : unit -> stat list
-(** Accumulated spans, largest [total_s] first. *)
+(** Accumulated spans merged across all domains, largest [total_s]
+    first. Call after parallel workers have joined: merging is
+    mutex-guarded against table {e registration}, but reads entries
+    without synchronising against in-flight {!time} calls. *)
 
 val reset : unit -> unit
-(** Drop all accumulated spans (the enabled flag is unchanged). *)
+(** Drop all accumulated spans, in every domain's table (the enabled
+    flag is unchanged). *)
 
 val set_clock : (unit -> float) -> unit
 (** Override the time source (seconds). Tests only. *)

@@ -1,0 +1,41 @@
+let recommended () = Domain.recommended_domain_count ()
+
+let map ~domains f items =
+  if domains < 1 then invalid_arg "Pool.map: domains must be >= 1";
+  let n = Array.length items in
+  let workers = min domains n in
+  if workers <= 1 then Array.map f items
+  else begin
+    let obs = Bgl_obs.Runtime.snapshot () in
+    (* Shared claim cursor: each domain grabs the next unclaimed item,
+       so load balances itself whatever the per-item cost spread. *)
+    let next = Atomic.make 0 in
+    let slots = Array.make n None in
+    let worker () =
+      let rec claim () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (slots.(i) <-
+             (match f items.(i) with
+             | v -> Some (Ok v)
+             | exception e -> Some (Error (e, Printexc.get_raw_backtrace ()))));
+          claim ()
+        end
+      in
+      claim ()
+    in
+    let spawned =
+      Array.init (workers - 1) (fun _ ->
+          Domain.spawn (fun () ->
+              Bgl_obs.Runtime.install obs;
+              worker ()))
+    in
+    worker ();
+    Array.iter Domain.join spawned;
+    Array.map
+      (function
+        | Some (Ok v) -> v
+        | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+        | None -> assert false (* every index below [n] was claimed *))
+      slots
+  end

@@ -1,0 +1,33 @@
+(** A fixed-size domain pool for embarrassingly-parallel sweeps.
+
+    {!map} fans an array of independent work items out over [domains]
+    OCaml 5 domains. Items are claimed from a shared atomic cursor —
+    effectively single-item work stealing — so a slow cell (a large
+    simulation) never leaves the other domains idle behind a static
+    block partition.
+
+    Determinism contract: [map ~domains:n f items] returns exactly
+    [Array.map f items] for every [n], provided each [f items.(i)] is
+    self-contained — it must not read mutable state another call
+    writes. The simulator's per-scenario RNG derivation and the
+    domain-local caches/observability state are designed to satisfy
+    this, which is what makes parallel figure sweeps bit-identical to
+    sequential ones. *)
+
+val map : domains:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map ~domains f items] applies [f] to every item and returns the
+    results in item order. At most [domains] domains run at once
+    (clamped to at least 1 and at most [Array.length items]); with
+    [domains = 1], or fewer than two items, no domain is spawned and
+    this is plain [Array.map].
+
+    Worker domains inherit the calling domain's observability
+    configuration ({!Bgl_obs.Runtime.snapshot}). If any [f] raises,
+    the first exception (in item order) is re-raised with its original
+    backtrace after all workers have joined.
+
+    @raise Invalid_argument if [domains < 1]. *)
+
+val recommended : unit -> int
+(** [Domain.recommended_domain_count ()] — a sensible default for a
+    [--jobs] flag's auto mode. *)

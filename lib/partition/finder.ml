@@ -20,17 +20,23 @@ let compute_bases (d : Dims.t) ~wrap (s : Shape.t) =
 
 (* Base sets depend only on (dims, wrap, shape); the schedulers query
    them millions of times per simulation, so they are cached as
-   arrays. *)
-let bases_cache : (int * int * int * bool * int * int * int, Coord.t array) Hashtbl.t =
-  Hashtbl.create 256
+   arrays. The cache is domain-local: a global [Hashtbl] would race
+   (and can corrupt its buckets) under parallel sweeps, and a mutex
+   would serialise the hottest lookup in the code base — so each
+   domain fills its own table, at the cost of one recomputation per
+   (key, domain). *)
+let bases_cache : (int * int * int * bool * int * int * int, Coord.t array) Hashtbl.t Domain.DLS.key
+    =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 256)
 
 let bases_arr (d : Dims.t) ~wrap (s : Shape.t) =
+  let cache = Domain.DLS.get bases_cache in
   let key = (d.nx, d.ny, d.nz, wrap, s.sx, s.sy, s.sz) in
-  match Hashtbl.find_opt bases_cache key with
+  match Hashtbl.find_opt cache key with
   | Some arr -> arr
   | None ->
       let arr = Array.of_list (compute_bases d ~wrap s) in
-      Hashtbl.replace bases_cache key arr;
+      Hashtbl.replace cache key arr;
       arr
 
 let bases d ~wrap s = Array.to_list (bases_arr d ~wrap s)
@@ -154,7 +160,9 @@ let find_pop grid ~volume =
     at (x0 + sx) (y0 + sy) - at x0 (y0 + sy) - at (x0 + sx) y0 + at x0 y0 = 0
   in
   let acc = ref [] in
-  let z_starts = if wrap then List.init d.nz Fun.id else List.init d.nz Fun.id in
+  (* Every z is a candidate base whether or not the torus wraps; the
+     wrap distinction lives in [max_sz] and the canonical rule below. *)
+  let z_starts = List.init d.nz Fun.id in
   List.iter
     (fun z0 ->
       Array.fill free2d 0 (Array.length free2d) true;

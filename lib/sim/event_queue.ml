@@ -1,12 +1,18 @@
 type 'a entry = { time : float; seq : int; payload : 'a }
 
 type 'a t = {
-  mutable heap : 'a entry array;  (* heap.(0) unused when len = 0 *)
+  mutable heap : 'a entry array;  (* slots >= len are dead and hold [dummy] *)
   mutable len : int;
   mutable next_seq : int;
+  dummy : 'a entry;
+      (* Sentinel written into vacated slots so the heap array never
+         retains a popped payload (space leak: the queue lives for the
+         whole simulation, the payloads it has popped should not). Its
+         payload is an immediate and is never read — slots >= len are
+         untouched by the sift loops. *)
 }
 
-let create () = { heap = [||]; len = 0; next_seq = 0 }
+let create () = { heap = [||]; len = 0; next_seq = 0; dummy = { time = 0.; seq = -1; payload = Obj.magic 0 } }
 let is_empty t = t.len = 0
 let size t = t.len
 
@@ -16,7 +22,7 @@ let grow t =
   let cap = Array.length t.heap in
   if t.len = cap then begin
     let ncap = max 16 (2 * cap) in
-    let nheap = Array.make ncap t.heap.(0) in
+    let nheap = Array.make ncap t.dummy in
     Array.blit t.heap 0 nheap 0 t.len;
     t.heap <- nheap
   end
@@ -25,7 +31,6 @@ let push_raw t ~time payload =
   if Float.is_nan time then invalid_arg "Event_queue.push: NaN time";
   let entry = { time; seq = t.next_seq; payload } in
   t.next_seq <- t.next_seq + 1;
-  if t.len = 0 && Array.length t.heap = 0 then t.heap <- Array.make 16 entry;
   grow t;
   t.heap.(t.len) <- entry;
   t.len <- t.len + 1;
@@ -56,8 +61,9 @@ let pop_raw t =
   else begin
     let top = t.heap.(0) in
     t.len <- t.len - 1;
+    if t.len > 0 then t.heap.(0) <- t.heap.(t.len);
+    t.heap.(t.len) <- t.dummy;
     if t.len > 0 then begin
-      t.heap.(0) <- t.heap.(t.len);
       (* Sift down. *)
       let i = ref 0 in
       let continue = ref true in
@@ -81,6 +87,8 @@ let pop_raw t =
 let pop t =
   if Bgl_obs.Span.enabled () then Bgl_obs.Span.time ~name:"event_queue.pop" (fun () -> pop_raw t)
   else pop_raw t
+
+let retains t x = Array.exists (fun (e : _ entry) -> e.payload == x) t.heap
 
 let pop_if_at t ~time =
   match peek t with

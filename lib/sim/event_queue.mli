@@ -18,3 +18,9 @@ val pop : 'a t -> (float * 'a) option
 val pop_if_at : 'a t -> time:float -> 'a option
 (** Pop the head only if its time equals [time] exactly — used to
     drain a batch of simultaneous events. *)
+
+val retains : 'a t -> 'a -> bool
+(** Whether the backing array still holds a physically-equal reference
+    to [x] anywhere — including vacated slots beyond {!size}. Exposed
+    for the space-leak regression tests; only meaningful for boxed
+    payloads. *)

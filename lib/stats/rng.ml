@@ -31,12 +31,20 @@ let split t ~label =
 
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
-  (* Rejection-free for our purposes: 62 bits of entropy modulo bound has
-     negligible bias for the bounds used in this code base (< 2^32). The
-     shift by 2 keeps the value within OCaml's 63-bit non-negative
-     range. *)
-  let v = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
-  v mod bound
+  (* Unbiased bounded draw by rejection (the bounded-draw debiasing of
+     Lemire 2019, in the divisionless-free form): [v mod bound] is
+     uniform iff [v] lands below the largest multiple of [bound] in
+     [0, 2^62), so the partial block at the top — fewer than [bound]
+     values — is redrawn. [max_int] is 2^62 - 1, hence
+     [2^62 mod bound = ((max_int mod bound) + 1) mod bound]; the shift
+     by 2 keeps the draw within OCaml's 63-bit non-negative range. *)
+  let rem = ((max_int mod bound) + 1) mod bound in
+  let lim = max_int - rem in
+  let rec go () =
+    let v = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
+    if v <= lim then v mod bound else go ()
+  in
+  go ()
 
 let unit_float t =
   (* 53 random bits scaled into [0, 1). *)

@@ -27,8 +27,9 @@ val bits64 : t -> int64
 (** Next raw 64-bit output. *)
 
 val int : t -> int -> int
-(** [int t bound] is uniform in [\[0, bound)]. [bound] must be
-    positive. *)
+(** [int t bound] is uniform in [\[0, bound)] — exactly uniform, by
+    rejection sampling of the top partial block rather than a biased
+    modulo. [bound] must be positive. *)
 
 val float : t -> float -> float
 (** [float t bound] is uniform in [\[0, bound)]. *)

@@ -308,11 +308,49 @@ let prop_find_with_matches_find =
       Finder.find_with table g ~volume = Finder.find Finder.Prefix g ~volume
       && Finder.exists_free_with table g ~volume = Finder.exists_free g ~volume)
 
+let prop_finders_agree_both_wraps =
+  (* Same occupancy, both torus modes, every algorithm: all four must
+     return the same sorted, duplicate-free box list. Guards the POP
+     wrap canonicalization (the [z_starts]/[max_sz] interplay) on the
+     exact grid pair where wrapping is the only difference. *)
+  QCheck.Test.make ~name:"all finders agree on wrapped and unwrapped grids" ~count:100
+    QCheck.(pair arb_scenario (int_range 1 40))
+    (fun ((d, seed, _, p), volume) ->
+      List.for_all
+        (fun wrap ->
+          let g = build_grid (d, seed, wrap, p) in
+          let reference = Finder.find Finder.Naive g ~volume in
+          let sorted_dedup l =
+            List.sort_uniq Box.compare l = l && List.sort Box.compare l = l
+          in
+          sorted_dedup reference
+          && List.for_all
+               (fun algo -> Finder.find algo g ~volume = reference)
+               [ Finder.Pop; Finder.Shape_search; Finder.Prefix ])
+        [ false; true ])
+
+let prop_pop_wrap_canonical =
+  (* On a wrapped torus a box spanning a full dimension is reported at
+     base 0 in that dimension only — anywhere else would be the same
+     node set again. *)
+  QCheck.Test.make ~name:"POP reports full-dimension boxes at base 0" ~count:150
+    QCheck.(pair arb_scenario (int_range 1 40))
+    (fun ((d, seed, _, p), volume) ->
+      let g = build_grid (d, seed, true, p) in
+      List.for_all
+        (fun (b : Box.t) ->
+          (b.shape.sx < d.nx || b.base.x = 0)
+          && (b.shape.sy < d.ny || b.base.y = 0)
+          && (b.shape.sz < d.nz || b.base.z = 0))
+        (Finder.find Finder.Pop g ~volume))
+
 let props =
   List.map QCheck_alcotest.to_alcotest
     [
       prop_find_with_matches_find;
       prop_finders_agree;
+      prop_finders_agree_both_wraps;
+      prop_pop_wrap_canonical;
       prop_found_boxes_are_free;
       prop_finder_complete;
       prop_mfp_matches_naive;

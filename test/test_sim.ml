@@ -46,6 +46,33 @@ let test_eq_nan_rejected () =
        false
      with Invalid_argument _ -> true)
 
+let test_eq_no_leak () =
+  (* Regression: popping used to leave the entry behind in the backing
+     array (slots >= len), pinning every popped payload for the queue's
+     lifetime. *)
+  let q = Event_queue.create () in
+  let payloads = List.init 32 (fun i -> ref i) in
+  List.iteri (fun i p -> Event_queue.push q ~time:(float_of_int i) p) payloads;
+  let popped, live =
+    let rec split i acc = function
+      | [] -> (List.rev acc, [])
+      | rest when i = 0 -> (List.rev acc, rest)
+      | p :: rest -> split (i - 1) (p :: acc) rest
+    in
+    split 20 [] payloads
+  in
+  List.iter (fun p -> assert (Option.get (Event_queue.pop q) |> snd == p)) popped;
+  List.iter
+    (fun p -> check_bool "popped payload released" false (Event_queue.retains q p))
+    popped;
+  List.iter (fun p -> check_bool "live payload retained" true (Event_queue.retains q p)) live;
+  while not (Event_queue.is_empty q) do
+    ignore (Event_queue.pop q)
+  done;
+  List.iter
+    (fun p -> check_bool "drained payload released" false (Event_queue.retains q p))
+    payloads
+
 let prop_eq_heap_order =
   QCheck.Test.make ~name:"event queue pops in (time, seq) order" ~count:200
     QCheck.(list (float_bound_inclusive 100.))
@@ -633,6 +660,7 @@ let () =
           tc "fifo ties" test_eq_fifo_on_ties;
           tc "pop_if_at" test_eq_pop_if_at;
           tc "nan rejected" test_eq_nan_rejected;
+          tc "no space leak" test_eq_no_leak;
         ] );
       ( "checkpoint",
         [

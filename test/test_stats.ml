@@ -55,6 +55,31 @@ let test_rng_int_invalid () =
   Alcotest.check_raises "bound 0 rejected" (Invalid_argument "Rng.int: bound must be positive")
     (fun () -> ignore (Rng.int r 0))
 
+let test_rng_int_unbiased () =
+  (* Regression for the modulo-bias bug. With bound = 3·2^60 a 62-bit
+     draw reduced by [mod] lands in [0, 2^60) with probability 1/2
+     (both halves of the partial top block fold onto it) instead of
+     1/3; rejection sampling restores uniformity. *)
+  let bound = 3 * (1 lsl 60) in
+  let r = Rng.create ~seed:7 in
+  let n = 30_000 in
+  let low = ref 0 in
+  for _ = 1 to n do
+    if Rng.int r bound < 1 lsl 60 then incr low
+  done;
+  let frac = float_of_int !low /. float_of_int n in
+  check_bool
+    (Printf.sprintf "first third hit uniformly (got %.3f)" frac)
+    true
+    (Float.abs (frac -. (1. /. 3.)) < 0.02)
+
+let test_rng_int_huge_bound () =
+  let r = Rng.create ~seed:9 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r max_int in
+    check_bool "in range" true (v >= 0)
+  done
+
 let test_rng_unit_float_range () =
   let r = Rng.create ~seed:11 in
   for _ = 1 to 1000 do
@@ -407,6 +432,8 @@ let () =
           tc "split reproducible" test_rng_split_reproducible;
           tc "int bounds" test_rng_int_bounds;
           tc "int invalid" test_rng_int_invalid;
+          tc "int unbiased" test_rng_int_unbiased;
+          tc "int huge bound" test_rng_int_huge_bound;
           tc "unit_float range" test_rng_unit_float_range;
           tc "unit_float mean" test_rng_unit_float_mean;
           tc "bool balance" test_rng_bool_balance;
