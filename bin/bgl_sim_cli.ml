@@ -113,8 +113,27 @@ let quiet =
          ~doc:"Suppress informational notes (skipped/malformed trace lines), for script use. \
                Errors still print.")
 
+let fail =
+  Arg.(value & opt_all string [] & info [ "fail" ] ~docv:"SPEC"
+         ~doc:"Arm a deterministic failpoint (e.g. trace.swf.read, \
+               trace.failure_log.read:once). Repeatable; mainly for testing the error paths.")
+
+let arm_failpoints specs =
+  List.fold_left
+    (fun acc spec ->
+      Result.bind acc (fun () ->
+          match Bgl_resilience.Failpoint.of_string spec with
+          | Ok s ->
+              Bgl_resilience.Failpoint.arm s;
+              Ok ()
+          | Error msg -> Bgl_resilience.Error.usagef "--fail %s" msg))
+    (Ok ()) specs
+
 let run profile swf failure_log n_jobs load failures algo seed no_backfill migration repair
-    checkpoint per_job timeline metrics_out trace_out progress quiet =
+    checkpoint per_job timeline metrics_out trace_out progress quiet fail =
+  Bgl_resilience.Error.run ~prog:"bgl-sim" @@ fun () ->
+  let ( let* ) = Result.bind in
+  let* () = arm_failpoints fail in
   let obs = Bgl_core.Obs_cli.setup ?metrics_out ?trace_out ?progress () in
   let recorder = if timeline then Some (Bgl_sim.Recorder.create ()) else None in
   let config =
@@ -151,14 +170,17 @@ let run profile swf failure_log n_jobs load failures algo seed no_backfill migra
                     Format.eprintf "note: %d jobs skipped, %d malformed lines@." report.skipped
                       (List.length report.malformed);
                   Ok (Bgl_trace.Job_log.scale_runtime ~c:load log)
-              | Error msg -> Error msg)
+              | Error msg -> Error (Bgl_resilience.Error.Parse { name = path; detail = msg }))
         in
         match log_result with
-        | Error msg -> Error msg
+        | Error e -> Error e
         | Ok log -> (
             let failures_result =
               match failure_log with
-              | Some path -> Bgl_trace.Failure_log.load path
+              | Some path ->
+                  Result.map_error
+                    (fun msg -> Bgl_resilience.Error.Parse { name = path; detail = msg })
+                    (Bgl_trace.Failure_log.load path)
               | None ->
                   let n_events = Bgl_core.Scenario.injected_failures scenario in
                   if n_events = 0 then Ok (Bgl_trace.Failure_log.make ~name:"no-failures" [])
@@ -171,7 +193,7 @@ let run profile swf failure_log n_jobs load failures algo seed no_backfill migra
                             ~n_events ~seed:(seed lxor 0x5DEECE)))
             in
             match failures_result with
-            | Error msg -> Error msg
+            | Error e -> Error e
             | Ok failure_trace ->
                 let index = Bgl_predict.Failure_index.of_log failure_trace in
                 let predictor_seed = seed lxor 0x2545F in
@@ -204,10 +226,9 @@ let run profile swf failure_log n_jobs load failures algo seed no_backfill migra
                 Ok (Bgl_sim.Engine.run ~config ?recorder ~policy ~log ~failures:failure_trace ())))
   in
   match outcome with
-  | Error msg ->
+  | Error e ->
       Bgl_core.Obs_cli.finish obs;
-      Format.eprintf "error: %s@." msg;
-      1
+      Result.error e
   | Ok outcome ->
       Bgl_core.Obs_cli.finish ~report:outcome.report obs;
       Format.printf "run: %s@." outcome.name;
@@ -230,7 +251,7 @@ let run profile swf failure_log n_jobs load failures algo seed no_backfill migra
                 j.spec.id j.spec.size (Bgl_sim.Job.wait_time j) (Bgl_sim.Job.response_time j)
                 (Bgl_sim.Job.bounded_slowdown j) j.restarts)
           outcome.jobs;
-      0
+      Ok 0
 
 (* ------------------------------------------------------------------ *)
 (* bench: one full simulation with span timing on, then the profile *)
@@ -257,7 +278,7 @@ let run_term =
   Term.(
     const run $ profile $ swf $ failure_log $ n_jobs $ load $ failures $ algo $ seed
     $ no_backfill $ migration $ repair $ checkpoint $ per_job $ timeline $ metrics_out
-    $ trace_out $ progress $ quiet)
+    $ trace_out $ progress $ quiet $ fail)
 
 let bench_cmd =
   let doc = "profile one simulation: run with span timers on, print the timing table" in

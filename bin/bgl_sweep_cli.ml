@@ -1,7 +1,13 @@
 (* bgl-sweep: regenerate the paper's figures or the ablation studies as
-   text tables + CSV files. A cmdliner front-end over Bgl_core.Figures
-   and Bgl_core.Ablations (bench/main.exe is the no-flags batch
-   driver). *)
+   text tables + CSV files. A cmdliner front-end over Bgl_core.Sweep
+   (bench/main.exe is the no-flags batch driver).
+
+   Sweeps are crash-safe and supervised: --journal records every
+   completed cell durably, --resume skips the journaled cells of an
+   interrupted sweep, --fail arms deterministic failpoints, and
+   --cell-fuel/--cell-deadline bound each cell. Figure tables go to
+   stdout; resilience reporting goes to stderr, so a resumed sweep's
+   stdout is byte-identical to an uninterrupted one. *)
 
 open Cmdliner
 
@@ -45,12 +51,101 @@ let progress =
          ~doc:"Print a heartbeat line to stderr every N simulation events (cumulative across \
                runs).")
 
-let run ids full n_jobs jobs seeds out chart metrics_out trace_out progress =
-  let obs = Bgl_core.Obs_cli.setup ?metrics_out ?trace_out ?progress () in
-  let domains = if jobs = 0 then Bgl_parallel.Pool.recommended () else jobs in
-  if domains < 1 then (
-    prerr_endline "bgl: --jobs must be >= 0";
-    exit 1);
+let journal =
+  Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"FILE"
+         ~doc:"Append every completed sweep cell to FILE as one fsync'd JSONL record \
+               (truncates FILE first). A killed sweep loses at most the cells in flight; \
+               restart it with --resume FILE.")
+
+let resume =
+  Arg.(value & opt (some string) None & info [ "resume" ] ~docv:"FILE"
+         ~doc:"Restore completed cells from journal FILE, simulate only the missing ones, and \
+               keep appending to FILE. Output is byte-identical to an uninterrupted run.")
+
+let fail =
+  Arg.(value & opt_all string [] & info [ "fail" ] ~docv:"SPEC"
+         ~doc:"Arm a deterministic failpoint, e.g. pool.cell:index=3 (that sweep cell always \
+               fails), pool.cell:index=3,once (fails once, the retry succeeds), \
+               journal.append:once, trace.swf.read, site:p=0.1,seed=7. Repeatable.")
+
+let retries =
+  Arg.(value & opt int 3 & info [ "retries" ] ~docv:"N"
+         ~doc:"Attempts per sweep cell before it is quarantined (>= 1).")
+
+let cell_fuel =
+  Arg.(value & opt (some int) None & info [ "cell-fuel" ] ~docv:"N"
+         ~doc:"Cooperative budget: at most N engine/finder checks per cell attempt; a cell \
+               that runs out is quarantined, not hung.")
+
+let cell_deadline =
+  Arg.(value & opt (some float) None & info [ "cell-deadline" ] ~docv:"SECONDS"
+         ~doc:"Cooperative budget: wall-clock limit per cell attempt.")
+
+let ( let* ) = Result.bind
+
+let arm_failpoints specs =
+  List.fold_left
+    (fun acc spec ->
+      let* () = acc in
+      match Bgl_resilience.Failpoint.of_string spec with
+      | Ok s ->
+          Bgl_resilience.Failpoint.arm s;
+          Ok ()
+      | Error msg -> Bgl_resilience.Error.usagef "--fail %s" msg)
+    (Ok ()) specs
+
+let run ids full n_jobs jobs seeds out chart metrics_out trace_out progress journal resume fail
+    retries cell_fuel cell_deadline =
+  Bgl_resilience.Error.run ~prog:"bgl-sweep" @@ fun () ->
+  let open Bgl_resilience in
+  (* -- validation: every bad flag is a structured Usage error (exit 2) -- *)
+  let* domains =
+    if jobs < 0 then Error.usagef "--jobs must be >= 0, got %d" jobs
+    else Ok (if jobs = 0 then Bgl_parallel.Pool.recommended () else jobs)
+  in
+  let* () =
+    match n_jobs with
+    | Some n when n <= 0 -> Error.usagef "--n-jobs must be positive, got %d" n
+    | _ -> Ok ()
+  in
+  let* () =
+    match seeds with
+    | Some [] -> Error.usagef "--seeds needs at least one seed"
+    | _ -> Ok ()
+  in
+  let* () =
+    if retries < 1 then Error.usagef "--retries must be >= 1, got %d" retries else Ok ()
+  in
+  let* () =
+    match cell_fuel with
+    | Some n when n <= 0 -> Error.usagef "--cell-fuel must be positive, got %d" n
+    | _ -> Ok ()
+  in
+  let* () =
+    match cell_deadline with
+    | Some d when d <= 0. -> Error.usagef "--cell-deadline must be positive, got %g" d
+    | _ -> Ok ()
+  in
+  let* journal_mode =
+    match (journal, resume) with
+    | Some _, Some _ -> Error.usagef "--journal and --resume are mutually exclusive"
+    | Some path, None -> Ok (Bgl_core.Sweep.Fresh path)
+    | None, Some path ->
+        if Sys.file_exists path then Ok (Bgl_core.Sweep.Resume path)
+        else Result.error (Error.Io { path; detail = "no such journal" })
+    | None, None -> Ok Bgl_core.Sweep.No_journal
+  in
+  let* () = arm_failpoints fail in
+  let policy =
+    {
+      Supervise.default with
+      max_attempts = retries;
+      budget =
+        (match (cell_fuel, cell_deadline) with
+        | None, None -> None
+        | fuel, deadline -> Some (fun () -> Budget.make ?fuel ?deadline ()));
+    }
+  in
   let scale = if full then Bgl_core.Figures.full else Bgl_core.Figures.quick in
   let scale =
     { scale with
@@ -58,54 +153,69 @@ let run ids full n_jobs jobs seeds out chart metrics_out trace_out progress =
       seeds = Option.value seeds ~default:scale.Bgl_core.Figures.seeds;
     }
   in
-  if not (Sys.file_exists out) then Sys.mkdir out 0o755;
-  let emit fig =
-    Format.printf "%a@." Bgl_core.Series.pp_figure fig;
-    if chart then Format.printf "%a@." (Bgl_core.Series.pp_chart ?height:None) fig;
-    let path = Bgl_core.Series.save_csv fig ~dir:out in
-    Format.printf "  (csv: %s)@.@." path
-  in
-  let resolve id =
-    match Bgl_core.Figures.by_id id with
-    | Some f -> Ok (`Figures f)
-    | None -> (
-        match Bgl_core.Ablations.by_id id with
-        | Some f -> Ok (`Ablation f)
-        | None -> (
-            match Bgl_core.Baseline.by_id id with
-            | Some f -> Ok (`Ablation f)
-            | None -> Error id))
-  in
-  let code =
+  let* producer =
+    let resolve id =
+      match Bgl_core.Figures.by_id id with
+      | Some f -> Ok f
+      | None -> (
+          match Bgl_core.Ablations.by_id id with
+          | Some f -> Ok (fun scale -> [ f scale ])
+          | None -> (
+              match Bgl_core.Baseline.by_id id with
+              | Some f -> Ok (fun scale -> [ f scale ])
+              | None -> Error.usagef "unknown id %S" id))
+    in
     match ids with
-    | [] ->
-        List.iter emit (Bgl_core.Figures.all ~domains scale);
-        0
-    | ids -> (
-        let resolved = List.map resolve ids in
-        match List.find_opt Result.is_error resolved with
-        | Some (Error id) ->
-            Format.eprintf "unknown id %S@." id;
-            1
-        | Some (Ok _) | None ->
-            List.iter
-              (function
-                | Ok (`Figures f) -> List.iter emit (Bgl_core.Figures.produce ~domains f scale)
-                | Ok (`Ablation f) ->
-                    List.iter emit
-                      (Bgl_core.Figures.produce ~domains (fun scale -> [ f scale ]) scale)
-                | Error _ -> ())
-              resolved;
-            0)
+    | [] -> Ok (fun scale -> Bgl_core.Figures.all ~domains:1 scale)
+    | ids ->
+        let* fs =
+          List.fold_left
+            (fun acc id ->
+              let* fs = acc in
+              let* f = resolve id in
+              Ok (f :: fs))
+            (Ok []) ids
+        in
+        let fs = List.rev fs in
+        Ok (fun scale -> List.concat_map (fun f -> f scale) fs)
   in
+  if not (Sys.file_exists out) then Sys.mkdir out 0o755;
+  let obs = Bgl_core.Obs_cli.setup ?metrics_out ?trace_out ?progress () in
+  let result = Bgl_core.Sweep.run ~policy ~journal:journal_mode ~domains producer scale in
+  let* outcome =
+    match result with
+    | Error e ->
+        Bgl_core.Obs_cli.finish obs;
+        Result.error e
+    | Ok outcome -> Ok outcome
+  in
+  List.iter
+    (fun fig ->
+      Format.printf "%a@." Bgl_core.Series.pp_figure fig;
+      if chart then Format.printf "%a@." (Bgl_core.Series.pp_chart ?height:None) fig;
+      let path = Bgl_core.Series.save_csv fig ~dir:out in
+      Format.printf "  (csv: %s)@.@." path)
+    outcome.Bgl_core.Sweep.figures;
   Bgl_core.Obs_cli.finish obs;
-  code
+  (* Resilience summary on stderr, so stdout stays byte-identical
+     between clean, journaled and resumed sweeps. *)
+  if outcome.replayed > 0 || outcome.journal_dropped > 0 then
+    Format.eprintf "bgl-sweep: %d cells simulated, %d replayed from journal%s@."
+      outcome.simulated outcome.replayed
+      (if outcome.journal_dropped > 0 then
+         Printf.sprintf " (%d journal lines dropped)" outcome.journal_dropped
+       else "");
+  if Supervise.degraded outcome.degradation then
+    Format.eprintf "bgl-sweep: %a@." Supervise.pp_degradation outcome.degradation;
+  match Bgl_core.Sweep.degraded_error outcome with
+  | Some e -> Result.error e
+  | None -> Ok 0
 
 let cmd =
   let doc = "regenerate the paper's evaluation figures and ablations" in
   Cmd.v (Cmd.info "bgl-sweep" ~doc)
     Term.(
       const run $ ids $ full $ n_jobs $ jobs $ seeds $ out $ chart $ metrics_out $ trace_out
-      $ progress)
+      $ progress $ journal $ resume $ fail $ retries $ cell_fuel $ cell_deadline)
 
 let () = exit (Cmd.eval' cmd)

@@ -18,6 +18,7 @@ let profile_conv =
 (* ---- jobs ---- *)
 
 let gen_jobs profile n_jobs max_nodes seed load out =
+  Bgl_resilience.Error.run ~prog:"bgl-trace" @@ fun () ->
   let log =
     Bgl_workload.Synthetic.generate { profile; n_jobs; max_nodes; seed }
     |> Bgl_trace.Job_log.scale_runtime ~c:load
@@ -30,7 +31,7 @@ let gen_jobs profile n_jobs max_nodes seed load out =
   Format.printf "%a@." Bgl_trace.Job_log.pp_stats log;
   Format.printf "offered load on %d nodes: %.3f@." max_nodes
     (Bgl_trace.Job_log.offered_load log ~nodes:max_nodes);
-  0
+  Ok 0
 
 let jobs_cmd =
   let n_jobs = Arg.(value & opt int 2000 & info [ "jobs"; "n" ] ~docv:"N") in
@@ -46,6 +47,7 @@ let jobs_cmd =
 (* ---- failures ---- *)
 
 let gen_failures events span volume seed skew burst uniform out =
+  Bgl_resilience.Error.run ~prog:"bgl-trace" @@ fun () ->
   let log =
     if uniform then
       Bgl_failure.Generator.poisson_uniform ~span ~volume ~n_events:events ~seed
@@ -63,7 +65,7 @@ let gen_failures events span volume seed skew burst uniform out =
       Format.printf "wrote %d events to %s@." (Bgl_trace.Failure_log.length log) path
   | None -> print_string (Bgl_trace.Failure_log.to_string log));
   Format.printf "%a@." Bgl_trace.Failure_log.pp_stats log;
-  0
+  Ok 0
 
 let failures_cmd =
   let events = Arg.(value & opt int 300 & info [ "events"; "n" ] ~docv:"N") in
@@ -81,6 +83,7 @@ let failures_cmd =
 (* ---- inspect ---- *)
 
 let inspect path kind =
+  Bgl_resilience.Error.run ~prog:"bgl-trace" @@ fun () ->
   let as_failures () =
     match Bgl_trace.Failure_log.load path with
     | Ok log ->
@@ -112,18 +115,18 @@ let inspect path kind =
         Ok ()
     | Error e -> Error e
   in
+  let parsed result =
+    Result.map_error (fun msg -> Bgl_resilience.Error.Parse { name = path; detail = msg }) result
+  in
   let result =
     match kind with
-    | "jobs" -> as_jobs ()
-    | "failures" -> as_failures ()
-    | "auto" -> ( match as_jobs () with Ok () -> Ok () | Error _ -> as_failures ())
-    | other -> Error (Printf.sprintf "unknown kind %S (jobs, failures, auto)" other)
+    | "jobs" -> parsed (as_jobs ())
+    | "failures" -> parsed (as_failures ())
+    | "auto" -> (
+        match as_jobs () with Ok () -> Ok () | Error _ -> parsed (as_failures ()))
+    | other -> Bgl_resilience.Error.usagef "unknown kind %S (jobs, failures, auto)" other
   in
-  match result with
-  | Ok () -> 0
-  | Error msg ->
-      Format.eprintf "error: %s@." msg;
-      1
+  Result.map (fun () -> 0) result
 
 let inspect_cmd =
   let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in

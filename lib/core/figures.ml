@@ -67,27 +67,32 @@ let report_of scenario =
           Hashtbl.replace cache key r;
           r)
 
-let prefetch ~domains thunk =
+let collect thunk =
   let acc = ref [] in
   collecting := Some acc;
-  Fun.protect ~finally:(fun () -> collecting := None) (fun () -> ignore (thunk ()));
+  Fun.protect ~finally:(fun () -> collecting := None) thunk;
   (* Dedupe cells the producer asks for repeatedly (and any already
      cached): one simulation per distinct scenario label. *)
   let seen = Hashtbl.create 256 in
-  let cells =
-    List.filter
-      (fun s ->
-        let key = Scenario.label s in
-        if Hashtbl.mem cache key || Hashtbl.mem seen key then false
-        else begin
-          Hashtbl.replace seen key ();
-          true
-        end)
-      (List.rev !acc)
-    |> Array.of_list
-  in
+  List.filter
+    (fun s ->
+      let key = Scenario.label s in
+      if Hashtbl.mem cache key || Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.replace seen key ();
+        true
+      end)
+    (List.rev !acc)
+  |> Array.of_list
+
+let cells_of f scale = collect (fun () -> ignore (f scale))
+let install_report s r = Hashtbl.replace cache (Scenario.label s) r
+let placeholder_report = dummy_report
+
+let prefetch ~domains thunk =
+  let cells = collect (fun () -> ignore (thunk ())) in
   let reports = Bgl_parallel.Pool.map ~domains (fun s -> (Scenario.run s).report) cells in
-  Array.iteri (fun i s -> Hashtbl.replace cache (Scenario.label s) reports.(i)) cells
+  Array.iteri (fun i s -> install_report s reports.(i)) cells
 
 let cached_report = report_of
 let mean = Bgl_stats.Summary.mean

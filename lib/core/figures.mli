@@ -70,6 +70,22 @@ val cached_report : Scenario.t -> Bgl_sim.Metrics.report
 (** Run a scenario through the shared memo table (used by the ablation
     suite so overlapping sweep points are simulated once). *)
 
+val cells_of : (scale -> Series.figure list) -> scale -> Scenario.t array
+(** The distinct scenario cells [f scale] would simulate, discovered
+    by the collect pass (simulation stubbed out), minus any already in
+    the memo table — the unit of work {!Sweep} journals and
+    supervises. *)
+
+val install_report : Scenario.t -> Bgl_sim.Metrics.report -> unit
+(** Install a report in the memo table, so a subsequent producer run
+    replays it instead of simulating (journal resume, prefetched
+    parallel cells). Call from the main domain only. *)
+
+val placeholder_report : Bgl_sim.Metrics.report
+(** The all-zero report the collect pass answers with; {!Sweep}
+    installs it for quarantined cells so a degraded sweep can still
+    emit its remaining figures. *)
+
 val clear_cache : unit -> unit
 (** Figures share scenario runs through a memo table; clear it to force
     re-simulation (e.g. between scales in one process). *)

@@ -1,0 +1,62 @@
+(** Crash-safe, supervised figure sweeps.
+
+    {!run} drives a figure producer the way {!Figures.produce} does —
+    collect the scenario cells, simulate them on a domain pool, replay
+    the producer against the warmed memo table — but wraps the
+    simulation pass in the resilience machinery:
+
+    - each completed cell is appended to a {!Bgl_resilience.Journal}
+      as one fsync'd JSONL record keyed by the cell {!fingerprint}, so
+      a SIGKILL mid-sweep loses at most the cells in flight;
+    - [`Resume journal] restores journaled cells into the memo table
+      (reports round-trip bit-exactly) and simulates only the rest,
+      then keeps appending to the same journal;
+    - cells run under {!Bgl_parallel.Pool.map_supervised}: a raising
+      cell is retried and, failing that, quarantined — the sweep
+      completes the remaining cells and reports the degradation
+      instead of dying.
+
+    Quarantined cells are {e not} journaled; their figure points are
+    filled from {!Figures.placeholder_report} so partial output still
+    renders, and the caller is expected to exit non-zero (see
+    {!degraded_error}). *)
+
+type journal_mode =
+  | No_journal
+  | Fresh of string  (** write a new journal at this path (truncates) *)
+  | Resume of string  (** restore from this journal, append new cells to it *)
+
+type cell_failure = {
+  label : string;  (** {!Scenario.label} of the quarantined cell *)
+  fingerprint : string;
+  error : Bgl_resilience.Supervise.error;
+}
+
+type outcome = {
+  figures : Series.figure list;
+  simulated : int;  (** cells simulated in this process *)
+  replayed : int;  (** cells restored from the journal *)
+  journal_dropped : int;  (** journal lines dropped as truncated/corrupt *)
+  quarantined : cell_failure list;
+  degradation : Bgl_resilience.Supervise.degradation;
+}
+
+val fingerprint : Scenario.t -> string
+(** Hex digest of the scenario's {!Scenario.label} — which spells out
+    profile, load, failure intensity, algorithm, seed and the config
+    hash — the journal record key. *)
+
+val run :
+  ?policy:Bgl_resilience.Supervise.policy ->
+  ?journal:journal_mode ->
+  domains:int ->
+  (Figures.scale -> Series.figure list) ->
+  Figures.scale ->
+  (outcome, Bgl_resilience.Error.t) result
+(** [Error] covers journal I/O failures (unreadable resume file,
+    failed append); cell failures are never an [Error] — they come
+    back as [quarantined]. *)
+
+val degraded_error : outcome -> Bgl_resilience.Error.t option
+(** [Some (Degraded ...)] naming the quarantined cells when the sweep
+    was degraded, for the CLI's exit path. *)

@@ -1,24 +1,22 @@
 let recommended () = Domain.recommended_domain_count ()
 
-let map ~domains f items =
-  if domains < 1 then invalid_arg "Pool.map: domains must be >= 1";
-  let n = Array.length items in
+(* Shared claim cursor: each domain grabs the next unclaimed item, so
+   load balances itself whatever the per-item cost spread. [cell i]
+   must store its own result; it must not raise. *)
+let run_workers ~domains ~n cell =
   let workers = min domains n in
-  if workers <= 1 then Array.map f items
+  if workers <= 1 then
+    for i = 0 to n - 1 do
+      cell i
+    done
   else begin
     let obs = Bgl_obs.Runtime.snapshot () in
-    (* Shared claim cursor: each domain grabs the next unclaimed item,
-       so load balances itself whatever the per-item cost spread. *)
     let next = Atomic.make 0 in
-    let slots = Array.make n None in
     let worker () =
       let rec claim () =
         let i = Atomic.fetch_and_add next 1 in
         if i < n then begin
-          (slots.(i) <-
-             (match f items.(i) with
-             | v -> Some (Ok v)
-             | exception e -> Some (Error (e, Printexc.get_raw_backtrace ()))));
+          cell i;
           claim ()
         end
       in
@@ -31,7 +29,20 @@ let map ~domains f items =
               worker ()))
     in
     worker ();
-    Array.iter Domain.join spawned;
+    Array.iter Domain.join spawned
+  end
+
+let map ~domains f items =
+  if domains < 1 then invalid_arg "Pool.map: domains must be >= 1";
+  let n = Array.length items in
+  if min domains n <= 1 then Array.map f items
+  else begin
+    let slots = Array.make n None in
+    run_workers ~domains ~n (fun i ->
+        slots.(i) <-
+          (match f items.(i) with
+          | v -> Some (Ok v)
+          | exception e -> Some (Error (e, Printexc.get_raw_backtrace ()))));
     Array.map
       (function
         | Some (Ok v) -> v
@@ -39,3 +50,36 @@ let map ~domains f items =
         | None -> assert false (* every index below [n] was claimed *))
       slots
   end
+
+let map_supervised ?(policy = Bgl_resilience.Supervise.default) ?on_complete ~domains f items =
+  if domains < 1 then invalid_arg "Pool.map_supervised: domains must be >= 1";
+  let open Bgl_resilience in
+  let n = Array.length items in
+  let outcomes =
+    Array.make n
+      (Supervise.Quarantined { message = "unclaimed"; attempts = 0; transient = false })
+  in
+  run_workers ~domains ~n (fun i ->
+      let outcome =
+        Supervise.run policy (fun () ->
+            Failpoint.hit ~index:i "pool.cell";
+            f items.(i))
+      in
+      outcomes.(i) <- outcome;
+      match (outcome, on_complete) with
+      | Supervise.Completed { value; _ }, Some cb -> cb i value
+      | _ -> ());
+  let degradation = Supervise.degradation_of outcomes in
+  let reg = Bgl_obs.Runtime.registry () in
+  if not (Bgl_obs.Registry.is_noop reg) then begin
+    let count outcome v =
+      Bgl_obs.Registry.add
+        (Bgl_obs.Registry.counter reg ~help:"supervised sweep cells by outcome"
+           (Printf.sprintf "bgl_pool_cells_total{outcome=%S}" outcome))
+        (float_of_int v)
+    in
+    count "completed" degradation.Supervise.completed;
+    count "retried" degradation.Supervise.retried;
+    count "quarantined" (List.length degradation.Supervise.quarantined)
+  end;
+  (outcomes, degradation)

@@ -28,6 +28,35 @@ val map : domains:int -> ('a -> 'b) -> 'a array -> 'b array
 
     @raise Invalid_argument if [domains < 1]. *)
 
+val map_supervised :
+  ?policy:Bgl_resilience.Supervise.policy ->
+  ?on_complete:(int -> 'b -> unit) ->
+  domains:int ->
+  ('a -> 'b) ->
+  'a array ->
+  'b Bgl_resilience.Supervise.outcome array * Bgl_resilience.Supervise.degradation
+(** [on_complete i v] is called as soon as item [i] completes with
+    [v], from whichever domain ran it — the hook for incremental
+    durability (journaling a sweep cell the moment it finishes, not
+    when the whole map returns). It must be domain-safe and must not
+    raise; quarantined items never reach it.
+
+    Fault-tolerant {!map}: each item runs under
+    {!Bgl_resilience.Supervise.run} with [policy] (default
+    {!Bgl_resilience.Supervise.default}), so a raising item is retried
+    with deterministic backoff and, if it keeps failing, reported as
+    [Quarantined] instead of killing the sweep — every other item
+    still completes and is returned. The degradation summary counts
+    completions, retries and quarantines; when the ambient
+    {!Bgl_obs.Runtime} registry is live they are also exported as
+    [bgl_pool_cells_total{outcome=...}] counters.
+
+    Each attempt passes the item's index to the ["pool.cell"] failpoint
+    ({!Bgl_resilience.Failpoint}), so tests and CLIs can deterministically
+    fail one chosen cell.
+
+    @raise Invalid_argument if [domains < 1]. *)
+
 val recommended : unit -> int
 (** [Domain.recommended_domain_count ()] — a sensible default for a
     [--jobs] flag's auto mode. *)

@@ -108,6 +108,7 @@ let find_prefix grid ~volume = find_prefix_with grid (Prefix.build grid) ~volume
    closure: candidate enumeration runs millions of times per sweep. *)
 let find_with table grid ~volume =
   if volume <= 0 then invalid_arg "Finder.find_with: volume must be positive";
+  Bgl_resilience.Budget.check ~site:"finder.find_with";
   if volume > Grid.volume grid then []
   else if Bgl_obs.Span.enabled () then
     Bgl_obs.Span.time ~name:"finder.find_with" (fun () -> find_prefix_with grid table ~volume)
@@ -125,6 +126,7 @@ let exists_free_scan table grid ~volume =
 
 let exists_free_with table grid ~volume =
   if volume <= 0 then invalid_arg "Finder.exists_free_with: volume must be positive";
+  Bgl_resilience.Budget.check ~site:"finder.exists_free";
   if volume > Grid.volume grid then false
   else if Bgl_obs.Span.enabled () then
     Bgl_obs.Span.time ~name:"finder.exists_free" (fun () -> exists_free_scan table grid ~volume)
@@ -212,6 +214,7 @@ let find_pop grid ~volume =
 
 let find algo grid ~volume =
   if volume <= 0 then invalid_arg "Finder.find: volume must be positive";
+  Bgl_resilience.Budget.check ~site:"finder.find";
   if volume > Grid.volume grid then []
   else
     let run () =
@@ -230,6 +233,7 @@ let find_for_size algo grid ~size =
 
 let exists_free grid ~volume =
   if volume <= 0 then invalid_arg "Finder.exists_free: volume must be positive";
+  Bgl_resilience.Budget.check ~site:"finder.exists_free";
   if volume > Grid.volume grid then false
   else
     let run () = exists_free_scan (Prefix.build grid) grid ~volume in

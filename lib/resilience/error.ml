@@ -1,0 +1,44 @@
+type t =
+  | Usage of string
+  | Parse of { name : string; detail : string }
+  | Io of { path : string; detail : string }
+  | Degraded of { quarantined : string list; detail : string }
+  | Internal of string
+
+let exit_code = function
+  | Usage _ -> 2
+  | Degraded _ -> 3
+  | Parse _ -> 65
+  | Internal _ -> 70
+  | Io _ -> 74
+
+let usagef fmt = Printf.ksprintf (fun m -> Error (Usage m)) fmt
+
+let pp ppf = function
+  | Usage m -> Format.fprintf ppf "usage: %s" m
+  | Parse { name; detail } -> Format.fprintf ppf "parse error in %s: %s" name detail
+  | Io { path; detail } -> Format.fprintf ppf "i/o error on %s: %s" path detail
+  | Degraded { quarantined; detail } ->
+      Format.fprintf ppf "degraded: %s" detail;
+      List.iter (fun c -> Format.fprintf ppf "@.  quarantined: %s" c) quarantined
+  | Internal m -> Format.fprintf ppf "internal error: %s" m
+
+let to_string t = Format.asprintf "%a" pp t
+
+let of_exn = function
+  | Failpoint.Injected { site; visit } ->
+      Io { path = site; detail = Printf.sprintf "injected fault (visit %d)" visit }
+  | Budget.Budget_exceeded { site; detail } ->
+      Degraded { quarantined = []; detail = Printf.sprintf "budget exceeded at %s: %s" site detail }
+  | Sys_error msg -> Io { path = "<sys>"; detail = msg }
+  | e -> Internal (Printexc.to_string e)
+
+let run ~prog f =
+  let report e =
+    Format.eprintf "%s: %a@." prog pp e;
+    exit_code e
+  in
+  match f () with
+  | Ok code -> code
+  | Error e -> report e
+  | exception e -> report (of_exn e)

@@ -1,0 +1,38 @@
+(** Structured CLI errors with stable exit codes.
+
+    Replaces the scattered [failwith] / [prerr_endline ...; exit 1]
+    paths: tools compute a [(int, Error.t) result] and hand it to
+    {!run}, which prints one ["<prog>: ..."] line to stderr and maps
+    the error to its exit code. The codes (documented in the README):
+
+    - 0 — success
+    - 2 — usage error (bad flag value, conflicting options)
+    - 3 — degraded: the run finished but cells were quarantined or a
+      budget was exceeded; partial results were emitted
+    - 65 — data error: a trace, log or journal failed to parse
+    - 70 — internal error (unexpected exception)
+    - 74 — I/O error (including injected faults outside supervision) *)
+
+type t =
+  | Usage of string
+  | Parse of { name : string; detail : string }
+      (** [name] is the input being parsed (file or label) *)
+  | Io of { path : string; detail : string }
+  | Degraded of { quarantined : string list; detail : string }
+      (** [quarantined] names the cells lost; partial output exists *)
+  | Internal of string
+
+val exit_code : t -> int
+val usagef : ('a, unit, string, ('b, t) result) format4 -> 'a
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val of_exn : exn -> t
+(** Map the resilience exceptions ({!Failpoint.Injected},
+    {!Budget.Budget_exceeded}) and [Sys_error] to structured errors;
+    anything else becomes [Internal]. *)
+
+val run : prog:string -> (unit -> (int, t) result) -> int
+(** Evaluate the tool body: [Ok code] passes through; [Error e] (or a
+    raised exception, via {!of_exn}) prints ["<prog>: <error>"] to
+    stderr and returns {!exit_code}. Never raises. *)

@@ -1,0 +1,149 @@
+exception Injected of { site : string; visit : int }
+
+let () =
+  Printexc.register_printer (function
+    | Injected { site; visit } ->
+        Some (Printf.sprintf "injected fault at %s (visit %d)" site visit)
+    | _ -> None)
+
+type mode =
+  | Always
+  | Once
+  | Visit of int
+  | Index of int
+  | Index_once of int
+  | Prob of { p : float; seed : int }
+
+type spec = { site : string; mode : mode }
+
+type armed = { mode : mode; mutable visits : int; mutable fired : int }
+
+(* Sites armed rarely (test setup, CLI startup), hit from every domain
+   of a parallel sweep: a mutexed table with an atomic emptiness check
+   in front keeps the disarmed fast path to one load. *)
+let table : (string, armed) Hashtbl.t = Hashtbl.create 8
+let lock = Mutex.create ()
+let n_armed = Atomic.make 0
+
+let with_lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let arm spec =
+  with_lock (fun () ->
+      if not (Hashtbl.mem table spec.site) then Atomic.incr n_armed;
+      Hashtbl.replace table spec.site { mode = spec.mode; visits = 0; fired = 0 })
+
+let disarm site =
+  with_lock (fun () ->
+      if Hashtbl.mem table site then begin
+        Hashtbl.remove table site;
+        Atomic.decr n_armed
+      end)
+
+let reset () =
+  with_lock (fun () ->
+      Hashtbl.reset table;
+      Atomic.set n_armed 0)
+
+let hit ?(index = -1) site =
+  if Atomic.get n_armed > 0 then begin
+    let fire =
+      with_lock (fun () ->
+          match Hashtbl.find_opt table site with
+          | None -> None
+          | Some a ->
+              a.visits <- a.visits + 1;
+              let fire =
+                match a.mode with
+                | Always -> true
+                | Once -> a.fired = 0
+                | Visit n -> a.visits = n
+                | Index i -> index = i
+                | Index_once i -> index = i && a.fired = 0
+                | Prob { p; seed } -> Bgl_stats.Rng.hash_float ~seed a.visits index < p
+              in
+              if fire then a.fired <- a.fired + 1;
+              if fire then Some a.visits else None)
+    in
+    match fire with
+    | Some visit -> raise (Injected { site; visit })
+    | None -> ()
+  end
+
+let visits site =
+  with_lock (fun () ->
+      match Hashtbl.find_opt table site with Some a -> a.visits | None -> 0)
+
+let fired site =
+  with_lock (fun () ->
+      match Hashtbl.find_opt table site with Some a -> a.fired | None -> 0)
+
+(* ------------------------------------------------------------------ *)
+(* CLI spec syntax *)
+
+let to_string { site; mode } =
+  match mode with
+  | Always -> site
+  | Once -> site ^ ":once"
+  | Visit n -> Printf.sprintf "%s:visit=%d" site n
+  | Index i -> Printf.sprintf "%s:index=%d" site i
+  | Index_once i -> Printf.sprintf "%s:index=%d,once" site i
+  | Prob { p; seed } -> Printf.sprintf "%s:p=%g,seed=%d" site p seed
+
+let valid_site site =
+  site <> ""
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '_' | '-' -> true | _ -> false)
+       site
+
+let of_string s =
+  let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  match String.index_opt s ':' with
+  | None ->
+      if valid_site s then Ok { site = s; mode = Always }
+      else fail "bad failpoint site %S (want e.g. pool.cell or trace.swf.read)" s
+  | Some i -> (
+      let site = String.sub s 0 i in
+      let rest = String.sub s (i + 1) (String.length s - i - 1) in
+      if not (valid_site site) then
+        fail "bad failpoint site %S (want e.g. pool.cell or trace.swf.read)" site
+      else
+        let items = String.split_on_char ',' rest |> List.map String.trim in
+        let kv item =
+          match String.index_opt item '=' with
+          | None -> (item, None)
+          | Some j ->
+              ( String.sub item 0 j,
+                Some (String.sub item (j + 1) (String.length item - j - 1)) )
+        in
+        let assoc = List.map kv items in
+        let get k = List.assoc_opt k assoc in
+        let int_of k v =
+          match int_of_string_opt v with
+          | Some n when n >= 0 -> Ok n
+          | _ -> fail "failpoint %s: %s must be a non-negative integer, got %S" site k v
+        in
+        let once = List.mem ("once", None) assoc in
+        match (get "visit", get "index", get "p") with
+        | Some (Some v), None, None ->
+            Result.map (fun n -> { site; mode = Visit n }) (int_of "visit" v)
+        | None, Some (Some v), None ->
+            Result.map
+              (fun i -> { site; mode = (if once then Index_once i else Index i) })
+              (int_of "index" v)
+        | None, None, Some (Some v) -> (
+            match float_of_string_opt v with
+            | Some p when p >= 0. && p <= 1. ->
+                let seed =
+                  match get "seed" with Some (Some s) -> int_of_string_opt s | _ -> Some 0
+                in
+                (match seed with
+                | Some seed -> Ok { site; mode = Prob { p; seed } }
+                | None -> fail "failpoint %s: bad seed" site)
+            | _ -> fail "failpoint %s: p must be in [0,1], got %S" site v)
+        | None, None, None ->
+            if once then Ok { site; mode = Once }
+            else if rest = "always" || rest = "" then Ok { site; mode = Always }
+            else fail "failpoint %s: unknown mode %S" site rest
+        | _ -> fail "failpoint %s: combine at most one of visit=/index=/p= %S" site rest)

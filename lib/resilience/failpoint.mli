@@ -1,0 +1,52 @@
+(** Deterministic fault injection.
+
+    Library code declares {e sites} by calling {!hit} at the places
+    where real systems fail — trace I/O, journal writes, sweep cell
+    execution. A site is inert (one atomic load) until it is {e armed}
+    from a test or a CLI flag; an armed site raises {!Injected}
+    according to its firing mode, deterministically, so graceful
+    degradation is provable rather than asserted.
+
+    Arming is process-global and domain-safe: sites armed before a
+    parallel sweep fire inside pool workers. *)
+
+exception Injected of { site : string; visit : int }
+(** Raised by {!hit} when an armed site fires. [visit] is the 1-based
+    visit count at which it fired. *)
+
+type mode =
+  | Always  (** fire on every visit *)
+  | Once  (** fire on the first visit only *)
+  | Visit of int  (** fire on the n-th visit (1-based) only *)
+  | Index of int  (** fire on every visit whose [?index] matches *)
+  | Index_once of int  (** fire on the first visit whose [?index] matches *)
+  | Prob of { p : float; seed : int }
+      (** fire when a hash of [(seed, visit, index)] falls below [p]:
+          pseudo-random but exactly reproducible *)
+
+type spec = { site : string; mode : mode }
+
+val of_string : string -> (spec, string) result
+(** Parse a CLI arming spec:
+    ["site"] or ["site:always"], ["site:once"], ["site:visit=3"],
+    ["site:index=2"], ["site:index=2,once"], ["site:p=0.5,seed=7"]. *)
+
+val to_string : spec -> string
+
+val arm : spec -> unit
+(** Arm (or re-arm, resetting counters) a site. *)
+
+val disarm : string -> unit
+val reset : unit -> unit
+
+val hit : ?index:int -> string -> unit
+(** Declare a site visit. No-op (one atomic load) when nothing is
+    armed anywhere; raises {!Injected} when this site is armed and its
+    mode fires. [index] identifies the work item for [Index]-style
+    modes (e.g. a sweep cell's position). *)
+
+val visits : string -> int
+(** Visits observed on an armed site since arming (0 if not armed). *)
+
+val fired : string -> int
+(** Times an armed site has fired since arming. *)

@@ -1,0 +1,42 @@
+type writer = { path : string; fd : Unix.file_descr; mutable records : int }
+
+let open_with flags path = { path; fd = Unix.openfile path flags 0o644; records = 0 }
+let create ~path = open_with [ Unix.O_WRONLY; O_CREAT; O_TRUNC ] path
+let append_to ~path = open_with [ Unix.O_WRONLY; O_CREAT; O_APPEND ] path
+
+let write_all fd line =
+  let n = String.length line in
+  let rec go off = if off < n then go (off + Unix.write_substring fd line off (n - off)) in
+  go 0
+
+let append w ~key ~fields =
+  Failpoint.hit ~index:w.records "journal.append";
+  let line = Bgl_obs.Jsonl.obj (("cell", Bgl_obs.Jsonl.string key) :: fields) ^ "\n" in
+  write_all w.fd line;
+  Failpoint.hit ~index:w.records "journal.fsync";
+  Unix.fsync w.fd;
+  w.records <- w.records + 1
+
+let close w = Unix.close w.fd
+
+type entry = { key : string; value : Bgl_obs.Jsonl.value }
+
+let load_string text =
+  let entries = ref [] and dropped = ref 0 in
+  List.iter
+    (fun line ->
+      if String.trim line <> "" then
+        match Bgl_obs.Jsonl.parse line with
+        | Ok value -> (
+            match Option.bind (Bgl_obs.Jsonl.member "cell" value) Bgl_obs.Jsonl.to_string_opt with
+            | Some key -> entries := { key; value } :: !entries
+            | None -> incr dropped)
+        | Error _ -> incr dropped)
+    (String.split_on_char '\n' text);
+  (List.rev !entries, !dropped)
+
+let load ~path =
+  Failpoint.hit "journal.read";
+  match In_channel.with_open_bin path In_channel.input_all with
+  | text -> Ok (load_string text)
+  | exception Sys_error msg -> Error msg

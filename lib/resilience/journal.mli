@@ -1,0 +1,40 @@
+(** Crash-safe append-only JSONL journal.
+
+    One record per line: a JSON object carrying the record key under
+    ["cell"] plus caller fields, e.g.
+    [{"cell":"<fingerprint>","label":"...","report":{...}}]. Each
+    {!append} issues a single [write] of the whole line followed by
+    [fsync], so a record is either durably complete or (after a crash
+    mid-write) a truncated final line that the tolerant {!load} drops —
+    never a silently corrupt prefix.
+
+    Failpoint sites: ["journal.append"] (before the write),
+    ["journal.fsync"] (after the write, before the fsync — the record
+    exists but is not yet durable), ["journal.read"] (in {!load}). *)
+
+type writer
+
+val create : path:string -> writer
+(** Open for writing, truncating any existing file. *)
+
+val append_to : path:string -> writer
+(** Open for appending (resume), creating the file if missing. *)
+
+val append : writer -> key:string -> fields:(string * string) list -> unit
+(** Durably append one record. [fields] are JSON-encoded
+    [(name, value)] pairs ({!Bgl_obs.Jsonl} combinators); the key is
+    prepended as ["cell"]. *)
+
+val close : writer -> unit
+
+type entry = { key : string; value : Bgl_obs.Jsonl.value }
+(** [value] is the whole record object (including ["cell"]). *)
+
+val load : path:string -> (entry list * int, string) result
+(** Read a journal tolerantly: entries in file order plus the number
+    of dropped lines (truncated tail from a crash, corrupt bytes,
+    records without a ["cell"] key). [Error] only if the file cannot
+    be read at all. *)
+
+val load_string : string -> entry list * int
+(** {!load} on in-memory bytes; never raises. *)

@@ -462,8 +462,9 @@ let handle st = function
 (* ------------------------------------------------------------------ *)
 (* Driver *)
 
-let run ?(config = Config.default) ?(predictor = Bgl_predict.Predictor.null) ?recorder ~policy
-    ~(log : Bgl_trace.Job_log.t) ~(failures : Bgl_trace.Failure_log.t) () =
+let run ?(config = Config.default) ?(predictor = Bgl_predict.Predictor.null) ?recorder ?budget
+    ~policy ~(log : Bgl_trace.Job_log.t) ~(failures : Bgl_trace.Failure_log.t) () =
+  Bgl_resilience.Budget.with_budget budget @@ fun () ->
   Config.validate config;
   (match Bgl_trace.Failure_log.validate_nodes failures ~volume:(Dims.volume config.dims) with
   | Ok () -> ()
@@ -539,6 +540,7 @@ let run ?(config = Config.default) ?(predictor = Bgl_predict.Predictor.null) ?re
       match Event_queue.pop st.events with
       | None -> () (* unschedulable leftovers; reported as incomplete *)
       | Some (time, ev) ->
+          Bgl_resilience.Budget.check ~site:"engine.event";
           st.now <- time;
           handle st ev;
           (* Drain the batch of simultaneous events (failure bursts)

@@ -28,6 +28,7 @@ val run :
   ?config:Config.t ->
   ?predictor:Bgl_predict.Predictor.t ->
   ?recorder:Recorder.t ->
+  ?budget:Bgl_resilience.Budget.t ->
   policy:Policy.t ->
   log:Bgl_trace.Job_log.t ->
   failures:Bgl_trace.Failure_log.t ->
@@ -39,6 +40,15 @@ val run :
     their own predictor. A [recorder] receives every lifecycle
     transition for post-hoc analysis.
 
+    [budget] installs a cooperative fuel/deadline budget for the run
+    (see {!Bgl_resilience.Budget}): the event loop burns one fuel unit
+    per event and the partition finders one per enumeration, so a
+    pathological run raises [Budget_exceeded] at the next boundary
+    instead of hanging. Without [budget], any budget already installed
+    by the caller (e.g. a supervised sweep cell) still applies.
+
+    @raise Bgl_resilience.Budget.Budget_exceeded when the installed
+    budget is spent.
     @raise Invalid_argument on an invalid config, a failure log that
     references nodes outside the torus, or (with
     [config.drop_oversize = false]) a job larger than the torus. *)

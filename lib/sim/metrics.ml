@@ -167,3 +167,83 @@ let report_to_csv_row r =
     r.total_jobs r.completed_jobs r.avg_wait r.avg_response r.avg_bounded_slowdown
     r.median_bounded_slowdown r.p90_bounded_slowdown r.util r.unused r.lost r.busy_fraction
     r.makespan r.failures_injected r.job_kills r.restarts r.lost_work r.migrations r.checkpoints
+
+(* ------------------------------------------------------------------ *)
+(* JSON round-trip for the sweep journal. Floats go out with 17
+   significant digits (enough to reconstruct any float64 exactly), so
+   a journaled report replays bit-identically on resume. *)
+
+let report_to_json r =
+  let f v = if Float.is_finite v then Printf.sprintf "%.17g" v else "null" in
+  let i = Bgl_obs.Jsonl.int in
+  Bgl_obs.Jsonl.obj
+    [
+      ("total_jobs", i r.total_jobs);
+      ("completed_jobs", i r.completed_jobs);
+      ("avg_wait", f r.avg_wait);
+      ("avg_response", f r.avg_response);
+      ("avg_bounded_slowdown", f r.avg_bounded_slowdown);
+      ("median_bounded_slowdown", f r.median_bounded_slowdown);
+      ("p90_bounded_slowdown", f r.p90_bounded_slowdown);
+      ("util", f r.util);
+      ("unused", f r.unused);
+      ("lost", f r.lost);
+      ("busy_fraction", f r.busy_fraction);
+      ("makespan", f r.makespan);
+      ("failures_injected", i r.failures_injected);
+      ("job_kills", i r.job_kills);
+      ("restarts", i r.restarts);
+      ("lost_work", f r.lost_work);
+      ("migrations", i r.migrations);
+      ("checkpoints", i r.checkpoints);
+    ]
+
+let report_of_json v =
+  let ( let* ) = Result.bind in
+  let f name =
+    match Bgl_obs.Jsonl.member name v with
+    | Some (Bgl_obs.Jsonl.Number x) -> Ok x
+    | Some Bgl_obs.Jsonl.Null -> Ok Float.nan
+    | Some _ -> Error (Printf.sprintf "report member %s is not a number" name)
+    | None -> Error (Printf.sprintf "report member %s missing" name)
+  in
+  let i name = Result.map int_of_float (f name) in
+  let* total_jobs = i "total_jobs" in
+  let* completed_jobs = i "completed_jobs" in
+  let* avg_wait = f "avg_wait" in
+  let* avg_response = f "avg_response" in
+  let* avg_bounded_slowdown = f "avg_bounded_slowdown" in
+  let* median_bounded_slowdown = f "median_bounded_slowdown" in
+  let* p90_bounded_slowdown = f "p90_bounded_slowdown" in
+  let* util = f "util" in
+  let* unused = f "unused" in
+  let* lost = f "lost" in
+  let* busy_fraction = f "busy_fraction" in
+  let* makespan = f "makespan" in
+  let* failures_injected = i "failures_injected" in
+  let* job_kills = i "job_kills" in
+  let* restarts = i "restarts" in
+  let* lost_work = f "lost_work" in
+  let* migrations = i "migrations" in
+  let* checkpoints = i "checkpoints" in
+  Ok
+    {
+      total_jobs;
+      completed_jobs;
+      avg_wait;
+      avg_response;
+      avg_bounded_slowdown;
+      median_bounded_slowdown;
+      p90_bounded_slowdown;
+      util;
+      unused;
+      lost;
+      busy_fraction;
+      makespan;
+      failures_injected;
+      job_kills;
+      restarts;
+      lost_work;
+      migrations;
+      checkpoints;
+    }

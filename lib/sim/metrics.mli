@@ -65,3 +65,13 @@ val report_to_registry : Bgl_obs.Registry.t -> report -> unit
 
 val report_to_csv_header : string
 val report_to_csv_row : report -> string
+
+val report_to_json : report -> string
+(** One-line JSON object, one member per field. Floats are emitted
+    with 17 significant digits so {!report_of_json} round-trips them
+    bit-exactly — the property the sweep journal's byte-identical
+    resume rests on. Non-finite values encode as [null]. *)
+
+val report_of_json : Bgl_obs.Jsonl.value -> (report, string) result
+(** Inverse of {!report_to_json}; [Error] names the missing or
+    ill-typed member. Never raises. *)

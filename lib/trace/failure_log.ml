@@ -54,7 +54,7 @@ let of_string ~name text =
     (fun lineno line ->
       let line = String.trim line in
       if line <> "" && line.[0] <> '#' then
-        match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+        match Fields.split line with
         | [ time; node ] -> (
             match (float_of_string_opt time, int_of_string_opt node) with
             | Some time, Some node when time >= 0. && node >= 0 ->
@@ -73,11 +73,14 @@ let to_string t =
   Buffer.contents buf
 
 let load path =
+  Bgl_resilience.Failpoint.hit "trace.failure_log.read";
   match In_channel.with_open_text path In_channel.input_all with
   | text -> of_string ~name:(Filename.basename path) text
   | exception Sys_error msg -> Error msg
 
-let save t path = Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc (to_string t))
+let save t path =
+  Bgl_resilience.Failpoint.hit "trace.failure_log.write";
+  Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc (to_string t))
 
 let pp_stats ppf t =
   Format.fprintf ppf "failure log %s: %d events over %.0f s on %d distinct nodes" t.name (length t)

@@ -1,0 +1,3 @@
+let split line =
+  String.split_on_char ' ' (String.concat " " (String.split_on_char '\t' line))
+  |> List.filter (fun s -> s <> "")

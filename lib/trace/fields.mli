@@ -1,0 +1,8 @@
+(** Whitespace field splitting shared by the trace parsers.
+
+    Archive logs mix spaces and tabs as column separators (SWF headers
+    say "whitespace"); every parser in this library must accept both,
+    so they share this one splitter. *)
+
+val split : string -> string list
+(** Split on runs of spaces and tabs; never yields empty fields. *)

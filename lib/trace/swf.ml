@@ -4,10 +4,6 @@ type parse_report = {
   malformed : int list;
 }
 
-let split_fields line =
-  String.split_on_char ' ' (String.concat " " (String.split_on_char '\t' line))
-  |> List.filter (fun s -> s <> "")
-
 (* SWF numbers fields from 1; [field fs i] is field i or None. *)
 let field fs i = List.nth_opt fs (i - 1)
 
@@ -46,7 +42,7 @@ let of_string ~name text =
     (fun lineno line ->
       let line = String.trim line in
       if line <> "" && line.[0] <> ';' then
-        match parse_job (split_fields line) with
+        match parse_job (Fields.split line) with
         | `Job j ->
             incr parsed;
             jobs := j :: !jobs
@@ -60,6 +56,7 @@ let of_string ~name text =
     | exception Invalid_argument msg -> Error msg
 
 let load path =
+  Bgl_resilience.Failpoint.hit "trace.swf.read";
   match In_channel.with_open_text path In_channel.input_all with
   | text -> of_string ~name:(Filename.basename path) text
   | exception Sys_error msg -> Error msg
@@ -76,4 +73,6 @@ let to_string (log : Job_log.t) =
     log.jobs;
   Buffer.contents buf
 
-let save log path = Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc (to_string log))
+let save log path =
+  Bgl_resilience.Failpoint.hit "trace.swf.write";
+  Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc (to_string log))

@@ -225,6 +225,16 @@ let test_failure_parse_errors () =
     | Error msg -> String.length msg > 0
     | Ok _ -> false)
 
+(* Regression: real failure logs are often tab-separated; of_string
+   used to reject any line without a plain space. *)
+let test_failure_tab_separated () =
+  match Failure_log.of_string ~name:"t" "1.5\t3\n100.25 \t 77\n" with
+  | Error e -> Alcotest.fail e
+  | Ok parsed ->
+      check_int "both events parsed" 2 (Failure_log.length parsed);
+      check_int "tab-split node" 3 parsed.events.(0).node;
+      check_int "mixed-whitespace node" 77 parsed.events.(1).node
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -259,5 +269,6 @@ let () =
           tc "io round trip" test_failure_io_round_trip;
           tc "merge" test_failure_merge;
           tc "parse errors" test_failure_parse_errors;
+          tc "tab-separated fields" test_failure_tab_separated;
         ] );
     ]
