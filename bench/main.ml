@@ -72,6 +72,74 @@ let finder_tests () =
   in
   Bechamel.Test.make_grouped ~name:"partition" (tests @ mfp_tests @ prefix_tests)
 
+(* The incremental-occupancy layer vs the rebuild-per-event baseline:
+   each staged run applies a burst of single-node occupancy events to a
+   half-busy grid and re-queries the finder after each one, the way a
+   scheduling pass interleaves placements and candidate queries. The
+   toggles flip the same nodes back and forth, so grid state is stable
+   across Bechamel iterations. *)
+let finder_incremental_tests () =
+  let toggle grid node =
+    match Grid.owner grid node with
+    | None -> Grid.occupy_node grid node ~owner:7
+    | Some owner -> Grid.vacate_node grid node ~owner
+  in
+  let nodes = List.init 16 (fun i -> (i * 37) mod Dims.volume Dims.bgl) in
+  let rebuild =
+    let grid = busy_grid ~seed:4 ~fraction:0.5 in
+    Bechamel.Staged.stage (fun () ->
+        List.iter
+          (fun node ->
+            toggle grid node;
+            ignore (Finder.find Finder.Prefix grid ~volume:32))
+          nodes)
+  in
+  let incremental =
+    let grid = busy_grid ~seed:4 ~fraction:0.5 in
+    let cache = Finder.Cache.create grid in
+    Bechamel.Staged.stage (fun () ->
+        List.iter
+          (fun node ->
+            toggle grid node;
+            Finder.Cache.note_node cache node;
+            ignore (Finder.Cache.find cache ~volume:32))
+          nodes)
+  in
+  let requery =
+    let grid = busy_grid ~seed:4 ~fraction:0.5 in
+    let cache = Finder.Cache.create grid in
+    ignore (Finder.Cache.find cache ~volume:32);
+    Bechamel.Staged.stage (fun () -> ignore (Finder.Cache.find cache ~volume:32))
+  in
+  let prefix_full =
+    let grid = busy_grid ~seed:4 ~fraction:0.5 in
+    Bechamel.Staged.stage (fun () ->
+        List.iter
+          (fun node ->
+            toggle grid node;
+            ignore (Prefix.build grid))
+          nodes)
+  in
+  let prefix_incr =
+    let grid = busy_grid ~seed:4 ~fraction:0.5 in
+    let table = Prefix.track grid in
+    Bechamel.Staged.stage (fun () ->
+        List.iter
+          (fun node ->
+            toggle grid node;
+            Prefix.note_node table node;
+            Prefix.sync table)
+          nodes)
+  in
+  Bechamel.Test.make_grouped ~name:"finder-incremental"
+    [
+      Bechamel.Test.make ~name:"events-16/rebuild-per-query" rebuild;
+      Bechamel.Test.make ~name:"events-16/incremental-cache" incremental;
+      Bechamel.Test.make ~name:"requery/memo-hit" requery;
+      Bechamel.Test.make ~name:"prefix-16-events/full-build" prefix_full;
+      Bechamel.Test.make ~name:"prefix-16-events/incremental-sync" prefix_incr;
+    ]
+
 let event_queue_tests () =
   Bechamel.Test.make_grouped ~name:"engine"
     [
@@ -148,7 +216,13 @@ let run_micro () =
     "=== micro: partition finders (Appendix 9 lineage), engine kernels, obs overhead ===@.";
   let tests =
     Bechamel.Test.make_grouped ~name:"bgl"
-      [ finder_tests (); event_queue_tests (); obs_tests (); parallel_tests () ]
+      [
+        finder_tests ();
+        finder_incremental_tests ();
+        event_queue_tests ();
+        obs_tests ();
+        parallel_tests ();
+      ]
   in
   let cfg = Bechamel.Benchmark.cfg ~limit:2000 ~quota:(Bechamel.Time.second 0.5) () in
   let raw = Bechamel.Benchmark.all cfg [ Bechamel.Toolkit.Instance.monotonic_clock ] tests in

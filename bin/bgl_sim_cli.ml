@@ -118,6 +118,12 @@ let fail =
          ~doc:"Arm a deterministic failpoint (e.g. trace.swf.read, \
                trace.failure_log.read:once). Repeatable; mainly for testing the error paths.")
 
+let differential =
+  Arg.(value & flag & info [ "differential-check" ]
+         ~doc:"Cross-check every accelerated partition-finder query against the naive \
+               reference finder during the run; abort with a divergence report on any \
+               disagreement. Orders of magnitude slower — debug/CI use only.")
+
 let arm_failpoints specs =
   List.fold_left
     (fun acc spec ->
@@ -130,10 +136,11 @@ let arm_failpoints specs =
     (Ok ()) specs
 
 let run profile swf failure_log n_jobs load failures algo seed no_backfill migration repair
-    checkpoint per_job timeline metrics_out trace_out progress quiet fail =
+    checkpoint per_job timeline metrics_out trace_out progress quiet fail differential =
   Bgl_resilience.Error.run ~prog:"bgl-sim" @@ fun () ->
   let ( let* ) = Result.bind in
   let* () = arm_failpoints fail in
+  Bgl_partition.Finder.set_differential differential;
   let obs = Bgl_core.Obs_cli.setup ?metrics_out ?trace_out ?progress () in
   let recorder = if timeline then Some (Bgl_sim.Recorder.create ()) else None in
   let config =
@@ -278,7 +285,7 @@ let run_term =
   Term.(
     const run $ profile $ swf $ failure_log $ n_jobs $ load $ failures $ algo $ seed
     $ no_backfill $ migration $ repair $ checkpoint $ per_job $ timeline $ metrics_out
-    $ trace_out $ progress $ quiet $ fail)
+    $ trace_out $ progress $ quiet $ fail $ differential)
 
 let bench_cmd =
   let doc = "profile one simulation: run with span timers on, print the timing table" in

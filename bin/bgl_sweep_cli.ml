@@ -81,6 +81,12 @@ let cell_deadline =
   Arg.(value & opt (some float) None & info [ "cell-deadline" ] ~docv:"SECONDS"
          ~doc:"Cooperative budget: wall-clock limit per cell attempt.")
 
+let differential =
+  Arg.(value & flag & info [ "differential-check" ]
+         ~doc:"Cross-check every accelerated partition-finder query against the naive \
+               reference finder in every sweep cell (all domains); abort with a divergence \
+               report on any disagreement. Orders of magnitude slower — debug/CI use only.")
+
 let ( let* ) = Result.bind
 
 let arm_failpoints specs =
@@ -95,8 +101,9 @@ let arm_failpoints specs =
     (Ok ()) specs
 
 let run ids full n_jobs jobs seeds out chart metrics_out trace_out progress journal resume fail
-    retries cell_fuel cell_deadline =
+    retries cell_fuel cell_deadline differential =
   Bgl_resilience.Error.run ~prog:"bgl-sweep" @@ fun () ->
+  Bgl_partition.Finder.set_differential differential;
   let open Bgl_resilience in
   (* -- validation: every bad flag is a structured Usage error (exit 2) -- *)
   let* domains =
@@ -216,6 +223,6 @@ let cmd =
   Cmd.v (Cmd.info "bgl-sweep" ~doc)
     Term.(
       const run $ ids $ full $ n_jobs $ jobs $ seeds $ out $ chart $ metrics_out $ trace_out
-      $ progress $ journal $ resume $ fail $ retries $ cell_fuel $ cell_deadline)
+      $ progress $ journal $ resume $ fail $ retries $ cell_fuel $ cell_deadline $ differential)
 
 let () = exit (Cmd.eval' cmd)

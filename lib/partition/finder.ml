@@ -74,6 +74,72 @@ let find_naive grid ~volume =
     (Shapes.shapes_desc d);
   List.filter (fun b -> Box.volume b = volume) !acc |> sort_boxes
 
+(* ------------------------------------------------------------------ *)
+(* Differential mode: cross-check every accelerated query against the
+   naive reference finder. Global and atomic so parallel sweep domains
+   share one switch; the check is orders of magnitude slower than the
+   query it guards, so it is strictly a debug/CI facility. *)
+
+exception Divergence of string
+
+let () = Printexc.register_printer (function Divergence msg -> Some msg | _ -> None)
+
+let differential = Atomic.make false
+let set_differential on = Atomic.set differential on
+let differential_enabled () = Atomic.get differential
+
+let pp_box_list ppf boxes =
+  if boxes = [] then Format.fprintf ppf "(none)"
+  else Format.(pp_print_list ~pp_sep:pp_print_space Box.pp) ppf boxes
+
+let divergence ~site grid ~volume ~fast ~reference =
+  raise
+    (Divergence
+       (Format.asprintf
+          "@[<v>finder divergence at %s: volume=%d dims=%a wrap=%b@ accelerated (%d boxes): \
+           @[<hov>%a@]@ naive reference (%d boxes): @[<hov>%a@]@ grid:@ %a@]"
+          site volume Dims.pp (Grid.dims grid) (Grid.wrap grid) (List.length fast) pp_box_list
+          fast (List.length reference) pp_box_list reference Grid.pp grid))
+
+let check_counter () =
+  Bgl_obs.Registry.counter
+    (Bgl_obs.Runtime.registry ())
+    ~help:"accelerated finder queries cross-checked against the naive reference"
+    "bgl_finder_differential_checks_total"
+
+(* The accelerated result must be equal to the naive enumeration AND
+   pass direct validity checks (free, in-bounds, exact volume) so a bug
+   shared by both paths — e.g. in the base enumeration — still has a
+   chance to surface. *)
+let differential_check ~site grid ~volume fast =
+  Bgl_obs.Registry.inc (check_counter ());
+  let reference = find_naive grid ~volume in
+  if not (List.equal Box.equal fast reference) then divergence ~site grid ~volume ~fast ~reference;
+  let d = Grid.dims grid in
+  List.iter
+    (fun (b : Box.t) ->
+      if
+        (not (Coord.in_bounds d b.base))
+        || Box.volume b <> volume
+        || not (Grid.box_is_free grid b)
+      then
+        raise
+          (Divergence
+             (Format.asprintf "finder divergence at %s: invalid box %a (volume %d, dims %a)" site
+                Box.pp b volume Dims.pp d)))
+    fast
+
+let differential_check_exists ~site grid ~volume fast =
+  Bgl_obs.Registry.inc (check_counter ());
+  let reference = find_naive grid ~volume <> [] in
+  if fast <> reference then
+    raise
+      (Divergence
+         (Format.asprintf
+            "@[<v>finder divergence at %s: exists_free volume=%d returned %b, naive says %b@ \
+             grid:@ %a@]"
+            site volume fast reference Grid.pp grid))
+
 let find_shape_search grid ~volume =
   let d = Grid.dims grid in
   let wrap = Grid.wrap grid in
@@ -110,9 +176,15 @@ let find_with table grid ~volume =
   if volume <= 0 then invalid_arg "Finder.find_with: volume must be positive";
   Bgl_resilience.Budget.check ~site:"finder.find_with";
   if volume > Grid.volume grid then []
-  else if Bgl_obs.Span.enabled () then
-    Bgl_obs.Span.time ~name:"finder.find_with" (fun () -> find_prefix_with grid table ~volume)
-  else find_prefix_with grid table ~volume
+  else begin
+    let result =
+      if Bgl_obs.Span.enabled () then
+        Bgl_obs.Span.time ~name:"finder.find_with" (fun () -> find_prefix_with grid table ~volume)
+      else find_prefix_with grid table ~volume
+    in
+    if differential_enabled () then differential_check ~site:"find_with" grid ~volume result;
+    result
+  end
 
 let exists_free_scan table grid ~volume =
   let d = Grid.dims grid in
@@ -128,9 +200,17 @@ let exists_free_with table grid ~volume =
   if volume <= 0 then invalid_arg "Finder.exists_free_with: volume must be positive";
   Bgl_resilience.Budget.check ~site:"finder.exists_free";
   if volume > Grid.volume grid then false
-  else if Bgl_obs.Span.enabled () then
-    Bgl_obs.Span.time ~name:"finder.exists_free" (fun () -> exists_free_scan table grid ~volume)
-  else exists_free_scan table grid ~volume
+  else begin
+    let result =
+      if Bgl_obs.Span.enabled () then
+        Bgl_obs.Span.time ~name:"finder.exists_free" (fun () ->
+            exists_free_scan table grid ~volume)
+      else exists_free_scan table grid ~volume
+    in
+    if differential_enabled () then
+      differential_check_exists ~site:"exists_free_with" grid ~volume result;
+    result
+  end
 
 (* Projection of partitions: for every z-extent starting at z0, keep a
    2-D map of columns that are free across the whole extent (AND-ed in
@@ -212,6 +292,154 @@ let find_pop grid ~volume =
     z_starts;
   sort_boxes !acc
 
+(* ------------------------------------------------------------------ *)
+(* Per-pass candidate cache: memoise finder results keyed on the grid's
+   occupancy fingerprint, over an incrementally maintained summed-area
+   table. Within one scheduling pass the engine re-queries the same
+   volumes many times (head retry, backfill scan, MFP probes restore
+   the fingerprint), so repeated enumeration work collapses into a
+   hash lookup; any occupancy change flips the fingerprint and
+   invalidates exactly the stale entries. *)
+
+module Cache = struct
+  type counters = { mutable hits : int; mutable misses : int }
+
+  type t = {
+    grid : Grid.t;
+    table : Prefix.t;  (* tracking table; see Prefix.track *)
+    find_memo : (int, int * Box.t list) Hashtbl.t;  (* volume -> fingerprint, result *)
+    exists_memo : (int, int * bool) Hashtbl.t;
+    mutable mfp_slot : (int * Box.t option) option;
+        (* one-deep MFP memo: the stable (unprobed) occupancy state *)
+    counters : counters;
+    obs_hits : Bgl_obs.Registry.counter;
+    obs_misses : Bgl_obs.Registry.counter;
+    obs_incr : Bgl_obs.Registry.counter;
+    obs_full : Bgl_obs.Registry.counter;
+    mutable last_stats : Prefix.stats;
+  }
+
+  let create grid =
+    let open Bgl_obs.Registry in
+    let reg = Bgl_obs.Runtime.registry () in
+    {
+      grid;
+      table = Prefix.track grid;
+      find_memo = Hashtbl.create 32;
+      exists_memo = Hashtbl.create 32;
+      mfp_slot = None;
+      counters = { hits = 0; misses = 0 };
+      obs_hits = counter reg ~help:"finder candidate-cache hits" "bgl_finder_cache_hits_total";
+      obs_misses =
+        counter reg ~help:"finder candidate-cache misses" "bgl_finder_cache_misses_total";
+      obs_incr =
+        counter reg ~help:"summed-area table updates, by kind"
+          "bgl_prefix_updates_total{kind=\"incremental\"}";
+      obs_full =
+        counter reg ~help:"summed-area table updates, by kind"
+          "bgl_prefix_updates_total{kind=\"full\"}";
+      last_stats = { Prefix.full_rebuilds = 0; incremental_updates = 0 };
+    }
+
+  let grid t = t.grid
+  let note_box t box = Prefix.note_box t.table box
+  let note_node t node = Prefix.note_node t.table node
+
+  let flush_table_stats t =
+    let s = Prefix.stats t.table in
+    let incr = s.Prefix.incremental_updates - t.last_stats.Prefix.incremental_updates in
+    let full = s.Prefix.full_rebuilds - t.last_stats.Prefix.full_rebuilds in
+    if incr > 0 then Bgl_obs.Registry.add t.obs_incr (float_of_int incr);
+    if full > 0 then Bgl_obs.Registry.add t.obs_full (float_of_int full);
+    if incr > 0 || full > 0 then t.last_stats <- s
+
+  let table t =
+    Prefix.sync t.table;
+    flush_table_stats t;
+    t.table
+
+  let hit t =
+    t.counters.hits <- t.counters.hits + 1;
+    Bgl_obs.Registry.inc t.obs_hits
+
+  let miss t =
+    t.counters.misses <- t.counters.misses + 1;
+    Bgl_obs.Registry.inc t.obs_misses
+
+  let stats t = (t.counters.hits, t.counters.misses)
+  let table_stats t = Prefix.stats t.table
+
+  let find t ~volume =
+    if volume <= 0 then invalid_arg "Finder.Cache.find: volume must be positive";
+    Bgl_resilience.Budget.check ~site:"finder.cache.find";
+    let result =
+      if volume > Grid.volume t.grid then []
+      else
+        let fp = Grid.fingerprint t.grid in
+        match Hashtbl.find_opt t.find_memo volume with
+        | Some (fp', boxes) when fp' = fp ->
+            hit t;
+            boxes
+        | _ ->
+            miss t;
+            let table = table t in
+            let boxes =
+              if Bgl_obs.Span.enabled () then
+                Bgl_obs.Span.time ~name:"finder.cache.find" (fun () ->
+                    find_prefix_with t.grid table ~volume)
+              else find_prefix_with t.grid table ~volume
+            in
+            Hashtbl.replace t.find_memo volume (fp, boxes);
+            boxes
+    in
+    if differential_enabled () then differential_check ~site:"cache.find" t.grid ~volume result;
+    result
+
+  let exists_free t ~volume =
+    if volume <= 0 then invalid_arg "Finder.Cache.exists_free: volume must be positive";
+    Bgl_resilience.Budget.check ~site:"finder.cache.exists_free";
+    let result =
+      if volume > Grid.volume t.grid then false
+      else
+        let fp = Grid.fingerprint t.grid in
+        match Hashtbl.find_opt t.exists_memo volume with
+        | Some (fp', r) when fp' = fp ->
+            hit t;
+            r
+        | _ ->
+            miss t;
+            let table = table t in
+            let r =
+              if Bgl_obs.Span.enabled () then
+                Bgl_obs.Span.time ~name:"finder.cache.exists_free" (fun () ->
+                    exists_free_scan table t.grid ~volume)
+              else exists_free_scan table t.grid ~volume
+            in
+            Hashtbl.replace t.exists_memo volume (fp, r);
+            r
+    in
+    if differential_enabled () then
+      differential_check_exists ~site:"cache.exists_free" t.grid ~volume result;
+    result
+
+  (* MFP search does not fit the per-volume memo (its result is a box,
+     found by scanning volume levels), so it gets a one-deep slot:
+     callers like [Mfp.box ~cache] pass the actual search as [compute].
+     What-if probes bypass this slot so the stable pre-probe state is
+     not evicted by transient fingerprints. *)
+  let mfp_cached t ~compute =
+    let fp = Grid.fingerprint t.grid in
+    match t.mfp_slot with
+    | Some (fp', r) when fp' = fp ->
+        hit t;
+        r
+    | _ ->
+        miss t;
+        let r = compute () in
+        t.mfp_slot <- Some (fp, r);
+        r
+end
+
 let find algo grid ~volume =
   if volume <= 0 then invalid_arg "Finder.find: volume must be positive";
   Bgl_resilience.Budget.check ~site:"finder.find";
@@ -224,7 +452,12 @@ let find algo grid ~volume =
       | Shape_search -> find_shape_search grid ~volume
       | Prefix -> find_prefix grid ~volume
     in
-    if Bgl_obs.Span.enabled () then Bgl_obs.Span.time ~name:"finder.find" run else run ()
+    let result =
+      if Bgl_obs.Span.enabled () then Bgl_obs.Span.time ~name:"finder.find" run else run ()
+    in
+    if differential_enabled () && algo <> Naive then
+      differential_check ~site:(algo_name algo) grid ~volume result;
+    result
 
 let find_for_size algo grid ~size =
   match Shapes.round_up_volume (Grid.dims grid) size with
@@ -237,5 +470,10 @@ let exists_free grid ~volume =
   if volume > Grid.volume grid then false
   else
     let run () = exists_free_scan (Prefix.build grid) grid ~volume in
-    if Bgl_obs.Span.enabled () then Bgl_obs.Span.time ~name:"finder.exists_free" run
-    else run ()
+    let result =
+      if Bgl_obs.Span.enabled () then Bgl_obs.Span.time ~name:"finder.exists_free" run
+      else run ()
+    in
+    if differential_enabled () then
+      differential_check_exists ~site:"exists_free" grid ~volume result;
+    result

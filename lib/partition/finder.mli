@@ -55,3 +55,79 @@ val find_for_size : algo -> Grid.t -> size:int -> Box.t list
 val exists_free : Grid.t -> volume:int -> bool
 (** Whether at least one free partition of exactly [volume] exists
     (prefix-based, with early exit). *)
+
+(** {1 Differential mode}
+
+    A global debug switch: while enabled, every accelerated query
+    ({!find} with a non-naive algorithm, {!find_with},
+    {!exists_free_with}, {!exists_free}, and all {!Cache} queries) is
+    cross-checked against the {!Naive} reference on the same grid, and
+    the returned boxes are independently validated (in-bounds, exact
+    volume, actually free). Any disagreement raises {!Divergence} with
+    a full grid dump. Orders of magnitude slower than the queries it
+    guards — meant for CI smoke runs and bug hunts, never production
+    sweeps. The flag is atomic and process-wide, so parallel sweep
+    domains all honour it. *)
+
+exception Divergence of string
+(** Raised when an accelerated finder disagrees with the naive
+    reference. The payload is a human-readable report including both
+    result sets and an ASCII dump of the grid. *)
+
+val set_differential : bool -> unit
+val differential_enabled : unit -> bool
+
+(** {1 Candidate cache}
+
+    A per-engine cache that accelerates repeated finder queries against
+    one long-lived grid. It owns an incrementally maintained
+    summed-area table ({!Bgl_torus.Prefix.track}) — callers report each
+    grid mutation via {!Cache.note_box}/{!Cache.note_node} — and
+    memoises query results keyed on the grid's occupancy
+    {!Bgl_torus.Grid.fingerprint}, so a repeated query on unchanged
+    occupancy is a hash lookup. MFP what-if probes (occupy then vacate)
+    restore the fingerprint, so they do not evict entries. *)
+
+module Cache : sig
+  type t
+
+  val create : Grid.t -> t
+  (** Bind a cache to [grid]. Obs counters
+      ([bgl_finder_cache_hits_total], [bgl_finder_cache_misses_total],
+      [bgl_prefix_updates_total{kind=...}]) are registered against the
+      current {!Bgl_obs.Runtime.registry}. *)
+
+  val grid : t -> Grid.t
+
+  val note_box : t -> Box.t -> unit
+  (** Report that every node of the box was just occupied or vacated.
+      Call once per {!Grid.occupy}/{!Grid.vacate} on the cached grid.
+      An unreported mutation is detected via the grid's version counter
+      and degrades the next query to a full table rebuild — stale
+      results are never served. *)
+
+  val note_node : t -> int -> unit
+  (** Single-node variant (failure takedown / repair). *)
+
+  val table : t -> Prefix.t
+  (** The underlying summed-area table, synced to the grid's current
+      occupancy — for callers that scan it directly (MFP search). *)
+
+  val find : t -> volume:int -> Box.t list
+  (** As {!Finder.find_with} on the cached grid, memoised per volume on
+      the occupancy fingerprint. *)
+
+  val exists_free : t -> volume:int -> bool
+
+  val mfp_cached : t -> compute:(unit -> Box.t option) -> Box.t option
+  (** One-deep memo for the maximal-free-partition search: returns the
+      remembered result if the fingerprint still matches, otherwise
+      runs [compute] and remembers it. *)
+
+  val stats : t -> int * int
+  (** [(hits, misses)] across {!find}, {!exists_free} and
+      {!mfp_cached}. *)
+
+  val table_stats : t -> Prefix.stats
+  (** Incremental-vs-full update counts of the underlying table. *)
+end

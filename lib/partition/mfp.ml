@@ -1,12 +1,11 @@
 open Bgl_torus
 
-let search grid =
+let search_with table grid =
   if Grid.free_count grid = 0 then None
   else
     let d = Grid.dims grid in
     let wrap = Grid.wrap grid in
     let free = Grid.free_count grid in
-    let table = Prefix.build grid in
     let first_free_in shapes =
       Array.fold_left
         (fun acc shape ->
@@ -35,19 +34,48 @@ let search grid =
     in
     scan_levels (Shapes.levels_desc d)
 
-let box grid = search grid
+let search grid = search_with (Prefix.build grid) grid
 
-let volume grid = match search grid with None -> 0 | Some b -> Box.volume b
+(* With a cache the search scans the cache's incrementally maintained
+   table, and the result is memoised on the occupancy fingerprint via
+   the cache's one-deep MFP slot. *)
+(* A cache only applies to the very grid it is bound to: callers probe
+   ghost copies too (reservation feasibility, migration planning), and
+   those must fall back to cold searches. *)
+let cache_for cache grid =
+  match cache with Some c when Finder.Cache.grid c == grid -> Some c | _ -> None
+
+let box ?cache grid =
+  match cache_for cache grid with
+  | None -> search grid
+  | Some c -> Finder.Cache.mfp_cached c ~compute:(fun () -> search_with (Finder.Cache.table c) grid)
+
+let volume ?cache grid = match box ?cache grid with None -> 0 | Some b -> Box.volume b
 
 (* A distinct owner id out of the job-id space; Grid forbids negative
    owners other than its own sentinels, so use a huge positive id. *)
 let probe_owner = max_int
 
-let volume_after grid candidate =
+let volume_after ?cache grid candidate =
+  let cache = cache_for cache grid in
   Grid.occupy grid candidate ~owner:probe_owner;
+  (match cache with Some c -> Finder.Cache.note_box c candidate | None -> ());
   Fun.protect
-    ~finally:(fun () -> Grid.vacate grid candidate ~owner:probe_owner)
-    (fun () -> volume grid)
+    ~finally:(fun () ->
+      Grid.vacate grid candidate ~owner:probe_owner;
+      match cache with Some c -> Finder.Cache.note_box c candidate | None -> ())
+    (fun () ->
+      match cache with
+      | None -> volume grid
+      | Some c -> (
+          (* Probe states are transient (the vacate in [finally]
+             restores the fingerprint), so bypass the MFP memo slot —
+             it must keep the stable pre-probe result — but do reuse
+             the incremental table: the probe box is noted going in and
+             coming out, so both syncs are dirty-block updates. *)
+          match search_with (Finder.Cache.table c) grid with
+          | None -> 0
+          | Some b -> Box.volume b))
 
-let loss grid candidate = volume grid - volume_after grid candidate
-let loss_given ~before grid candidate = before - volume_after grid candidate
+let loss ?cache grid candidate = volume ?cache grid - volume_after ?cache grid candidate
+let loss_given ?cache ~before grid candidate = before - volume_after ?cache grid candidate

@@ -81,25 +81,17 @@ type state = {
   mutable running : int list;
   mutable arrivals_pending : int;
   mutable now : float;
-  mutable ptable : Prefix.t option;
-      (* summed-area table over [grid], invalidated on every occupancy
-         change and rebuilt lazily: scheduling passes share it across
-         all their free-partition queries *)
+  cache : Bgl_partition.Finder.Cache.t;
+      (* finder cache over [grid]: incrementally maintained summed-area
+         table plus fingerprint-keyed memo of finder results. Every
+         occupancy mutation below is paired with a [note_box]/[note_node]
+         so table updates stay incremental; a missed note only costs a
+         full rebuild (the cache self-heals via the grid version). *)
 }
-
-let invalidate_table st = st.ptable <- None
 
 let record st entry =
   (match st.recorder with Some r -> Recorder.record r entry | None -> ());
   match st.trace with Some r -> Recorder.record r entry | None -> ()
-
-let table st =
-  match st.ptable with
-  | Some t -> t
-  | None ->
-      let t = Prefix.build st.grid in
-      st.ptable <- Some t;
-      t
 
 (* ------------------------------------------------------------------ *)
 (* Queue management *)
@@ -140,7 +132,7 @@ let cap_candidates cfg candidates =
 
 let find_candidates st volume =
   if Grid.free_count st.grid < volume then []
-  else cap_candidates st.cfg (Bgl_partition.Finder.find_with (table st) st.grid ~volume)
+  else cap_candidates st.cfg (Bgl_partition.Finder.Cache.find st.cache ~volume)
 
 let checkpoint_interval st (job : Job.t) box =
   match st.cfg.checkpoint with
@@ -168,7 +160,7 @@ let start_job st idx box =
           ~work:job.remaining
   in
   Grid.occupy st.grid box ~owner:idx;
-  invalidate_table st;
+  Bgl_partition.Finder.Cache.note_box st.cache box;
   if job.first_start = None then job.first_start <- Some st.now;
   job.state <-
     Running
@@ -193,7 +185,7 @@ let try_place st (job : Job.t) =
   match candidates with
   | [] -> None
   | candidates ->
-      let ctx = Policy.make_ctx ~now:st.now st.grid in
+      let ctx = Policy.make_ctx ~cache:st.cache ~now:st.now st.grid in
       st.policy.choose ctx ~job:job.spec ~volume:job.volume ~candidates
 
 (* ------------------------------------------------------------------ *)
@@ -209,6 +201,14 @@ let estimated_run_end st idx =
    estimates, and a partition it could then take. *)
 let compute_reservation st (head : Job.t) =
   let ghost = Grid.copy st.grid in
+  (* The ghost gets its own finder cache so the summed-area table is
+     built once and then patched incrementally as runs are released,
+     instead of rebuilt per feasibility probe. *)
+  let gcache = Bgl_partition.Finder.Cache.create ghost in
+  let feasible () =
+    Grid.free_count ghost >= head.volume
+    && Bgl_partition.Finder.Cache.exists_free gcache ~volume:head.volume
+  in
   let by_end =
     List.sort
       (fun a b -> compare (estimated_run_end st a) (estimated_run_end st b))
@@ -219,23 +219,17 @@ let compute_reservation st (head : Job.t) =
     | idx :: rest -> (
         let job = st.jobs.(idx) in
         (match Job.current_run job with
-        | Some r -> Grid.vacate ghost r.box ~owner:idx
+        | Some r ->
+            Grid.vacate ghost r.box ~owner:idx;
+            Bgl_partition.Finder.Cache.note_box gcache r.box
         | None -> ());
         let shadow = estimated_run_end st idx in
-        if
-          Grid.free_count ghost >= head.volume
-          && Bgl_partition.Finder.exists_free ghost ~volume:head.volume
-        then
-          let boxes =
-            Bgl_partition.Finder.find Bgl_partition.Finder.Prefix ghost ~volume:head.volume
-          in
+        if feasible () then
+          let boxes = Bgl_partition.Finder.Cache.find gcache ~volume:head.volume in
           (shadow, Some (List.hd boxes))
         else release shadow rest)
   in
-  if
-    Grid.free_count ghost >= head.volume
-    && Bgl_partition.Finder.exists_free ghost ~volume:head.volume
-  then (st.now, None) (* should have been placed directly *)
+  if feasible () then (st.now, None) (* should have been placed directly *)
   else release st.now by_end
 
 let backfill_pass st head_idx rest =
@@ -258,7 +252,7 @@ let backfill_pass st head_idx rest =
             | Some res -> List.filter (fun b -> not (Box.overlap dims b res)) candidates
         in
         (if allowed <> [] then
-           let ctx = Policy.make_ctx ~now:st.now st.grid in
+           let ctx = Policy.make_ctx ~cache:st.cache ~now:st.now st.grid in
            match st.policy.choose ctx ~job:job.spec ~volume:job.volume ~candidates:allowed with
            | Some box ->
                queue_remove st idx;
@@ -279,6 +273,9 @@ let try_migrate st (head : Job.t) =
     (* Keep downed nodes down in the ghost. *)
     Grid.iter_owned st.grid (fun node owner ->
         if owner = Grid.down_owner then Grid.occupy_node ghost node ~owner:Grid.down_owner);
+    (* Repacking queries the ghost once per running job as it fills up:
+       a local cache keeps those incremental. *)
+    let gcache = Bgl_partition.Finder.Cache.create ghost in
     let order =
       List.sort
         (fun a b -> Int.compare st.jobs.(b).volume st.jobs.(a).volume)
@@ -291,19 +288,18 @@ let try_migrate st (head : Job.t) =
           | None -> None
           | Some placed -> (
               let job = st.jobs.(idx) in
-              match
-                Bgl_partition.Finder.find Bgl_partition.Finder.Prefix ghost ~volume:job.volume
-              with
+              match Bgl_partition.Finder.Cache.find gcache ~volume:job.volume with
               | [] -> None
               | box :: _ ->
                   Grid.occupy ghost box ~owner:idx;
+                  Bgl_partition.Finder.Cache.note_box gcache box;
                   Some ((idx, box) :: placed)))
         (Some []) order
     in
     match placements with
     | None -> false
     | Some placed ->
-        if not (Bgl_partition.Finder.exists_free ghost ~volume:head.volume) then false
+        if not (Bgl_partition.Finder.Cache.exists_free gcache ~volume:head.volume) then false
         else begin
           (* Commit in two phases: a job's new box may overlap another
              job's old box, so every moved job vacates before any
@@ -316,11 +312,16 @@ let try_migrate st (head : Job.t) =
                 | Some _ | None -> None)
               placed
           in
-          List.iter (fun (idx, (r : Job.run), _) -> Grid.vacate st.grid r.box ~owner:idx) moves;
+          List.iter
+            (fun (idx, (r : Job.run), _) ->
+              Grid.vacate st.grid r.box ~owner:idx;
+              Bgl_partition.Finder.Cache.note_box st.cache r.box)
+            moves;
           List.iter
             (fun (idx, (r : Job.run), new_box) ->
               let job = st.jobs.(idx) in
               Grid.occupy st.grid new_box ~owner:idx;
+              Bgl_partition.Finder.Cache.note_box st.cache new_box;
               record st
                 (Recorder.Job_migrated
                    { job = job.spec.id; time = st.now; from_box = r.box; to_box = new_box });
@@ -331,7 +332,6 @@ let try_migrate st (head : Job.t) =
               Bgl_obs.Registry.inc st.obs.jobs_migrated;
               Metrics.record_migration st.metrics)
             moves;
-          if moves <> [] then invalidate_table st;
           true
         end
   end
@@ -365,7 +365,7 @@ let complete_run st idx =
   | None -> ()
   | Some r ->
       Grid.vacate st.grid r.box ~owner:idx;
-      invalidate_table st;
+      Bgl_partition.Finder.Cache.note_box st.cache r.box;
       st.running <- List.filter (fun i -> i <> idx) st.running;
       (match r.interval with
       | None -> ()
@@ -405,7 +405,7 @@ let kill_job st idx ~node =
           done
       | Some _ | None -> ());
       Grid.vacate st.grid r.box ~owner:idx;
-      invalidate_table st;
+      Bgl_partition.Finder.Cache.note_box st.cache r.box;
       st.running <- List.filter (fun i -> i <> idx) st.running;
       let lost = float_of_int job.volume *. (elapsed -. persisted) in
       job.lost_node_seconds <- job.lost_node_seconds +. lost;
@@ -447,7 +447,7 @@ let handle st = function
         match Grid.owner st.grid node with
         | None ->
             Grid.occupy_node st.grid node ~owner:Grid.down_owner;
-            invalidate_table st;
+            Bgl_partition.Finder.Cache.note_node st.cache node;
             Event_queue.push st.events ~time:(st.now +. st.cfg.repair_time) (Repair node)
         | Some _ -> () (* already down: burst double-hit *))
   | Repair node -> (
@@ -455,8 +455,8 @@ let handle st = function
       match Grid.owner st.grid node with
       | Some owner when owner = Grid.down_owner ->
           Grid.vacate_node st.grid node ~owner;
-          record st (Recorder.Node_repaired { time = st.now; node });
-          invalidate_table st
+          Bgl_partition.Finder.Cache.note_node st.cache node;
+          record st (Recorder.Node_repaired { time = st.now; node })
       | Some _ | None -> ())
 
 (* ------------------------------------------------------------------ *)
@@ -493,6 +493,7 @@ let run ?(config = Config.default) ?(predictor = Bgl_predict.Predictor.null) ?re
         Recorder.create ~sink:(Bgl_obs.Sink.jsonl_writer ~to_json:Recorder.entry_to_json w) ())
       trace_writer
   in
+  let grid = Grid.create ~wrap:config.wrap config.dims in
   let st =
     {
       cfg = config;
@@ -502,7 +503,7 @@ let run ?(config = Config.default) ?(predictor = Bgl_predict.Predictor.null) ?re
       obs = make_obs ();
       heartbeat = Bgl_obs.Runtime.heartbeat ();
       predictor;
-      grid = Grid.create ~wrap:config.wrap config.dims;
+      grid;
       jobs;
       events = Event_queue.create ();
       metrics = Metrics.create ~nodes:(Dims.volume config.dims) ~slowdown_tau:config.slowdown_tau;
@@ -512,7 +513,7 @@ let run ?(config = Config.default) ?(predictor = Bgl_predict.Predictor.null) ?re
       running = [];
       arrivals_pending = Array.length jobs;
       now = 0.;
-      ptable = None;
+      cache = Bgl_partition.Finder.Cache.create grid;
     }
   in
   (* Frame each run in the trace so multi-run sweeps stay parseable as

@@ -3,6 +3,7 @@ open Bgl_torus
 type ctx = {
   now : float;
   grid : Grid.t;
+  cache : Bgl_partition.Finder.Cache.t option;
   mfp_before : int Lazy.t;
   mfp_boxes : Box.t list Lazy.t;
 }
@@ -13,11 +14,16 @@ type t = {
     ctx -> job:Bgl_trace.Job_log.job -> volume:int -> candidates:Box.t list -> Box.t option;
 }
 
-let make_ctx ~now grid =
-  let mfp_before = lazy (Bgl_partition.Mfp.volume grid) in
+let make_ctx ?cache ~now grid =
+  let mfp_before = lazy (Bgl_partition.Mfp.volume ?cache grid) in
   let mfp_boxes =
     lazy
       (let v = Lazy.force mfp_before in
-       if v = 0 then [] else Bgl_partition.Finder.find Bgl_partition.Finder.Prefix grid ~volume:v)
+       if v = 0 then []
+       else
+         match cache with
+         | Some c when Bgl_partition.Finder.Cache.grid c == grid ->
+             Bgl_partition.Finder.Cache.find c ~volume:v
+         | _ -> Bgl_partition.Finder.find Bgl_partition.Finder.Prefix grid ~volume:v)
   in
-  { now; grid; mfp_before; mfp_boxes }
+  { now; grid; cache; mfp_before; mfp_boxes }

@@ -15,6 +15,10 @@ type ctx = {
       (** current occupancy; policies may probe it (e.g. via
           [Mfp.volume_after], which restores the grid) but must leave
           it unchanged *)
+  cache : Bgl_partition.Finder.Cache.t option;
+      (** the engine's finder cache over [grid], when one exists —
+          policies should thread it into [Mfp] probes so MFP searches
+          reuse the incremental summed-area table *)
   mfp_before : int Lazy.t;  (** MFP volume before the placement *)
   mfp_boxes : Box.t list Lazy.t;
       (** all free boxes achieving [mfp_before] — lets policies skip
@@ -31,5 +35,7 @@ type t = {
           this. *)
 }
 
-val make_ctx : now:float -> Grid.t -> ctx
-(** Build a context with lazily computed MFP data. *)
+val make_ctx : ?cache:Bgl_partition.Finder.Cache.t -> now:float -> Grid.t -> ctx
+(** Build a context with lazily computed MFP data. When [cache] is the
+    engine's finder cache over [grid], the MFP data is served from (and
+    memoised in) the cache. *)

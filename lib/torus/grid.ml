@@ -1,11 +1,29 @@
-type t = { dims : Dims.t; wrap : bool; cells : int array; mutable free : int }
+type t = {
+  dims : Dims.t;
+  wrap : bool;
+  cells : int array;
+  mutable free : int;
+  mutable version : int;
+  mutable fingerprint : int;
+}
 
 let free_marker = -1
 let down_owner = -2
 
+(* Zobrist-style per-node key: occupancy state hashes to the xor of the
+   keys of the occupied nodes, so occupy/vacate update the fingerprint
+   in O(1) and a probe that occupies then vacates restores it exactly.
+   A splitmix-style finalizer keeps the keys well spread; constants are
+   chosen to fit OCaml's 63-bit native int. *)
+let node_key node =
+  let x = (node + 1) * 0x2545F4914F6CDD1D in
+  let x = x lxor (x lsr 29) in
+  let x = x * 0x1B03738712FAD5C9 in
+  x lxor (x lsr 32)
+
 let create ?(wrap = true) dims =
   let n = Dims.volume dims in
-  { dims; wrap; cells = Array.make n free_marker; free = n }
+  { dims; wrap; cells = Array.make n free_marker; free = n; version = 0; fingerprint = 0 }
 
 let dims t = t.dims
 let wrap t = t.wrap
@@ -13,6 +31,8 @@ let copy t = { t with cells = Array.copy t.cells }
 let volume t = Dims.volume t.dims
 let free_count t = t.free
 let busy_count t = volume t - t.free
+let version t = t.version
+let fingerprint t = t.fingerprint
 let owner t node = if t.cells.(node) = free_marker then None else Some t.cells.(node)
 let is_free t node = t.cells.(node) = free_marker
 
@@ -24,14 +44,18 @@ let occupy_node t node ~owner =
     invalid_arg
       (Printf.sprintf "Grid.occupy_node: node %d already owned by %d" node t.cells.(node));
   t.cells.(node) <- owner;
-  t.free <- t.free - 1
+  t.free <- t.free - 1;
+  t.version <- t.version + 1;
+  t.fingerprint <- t.fingerprint lxor node_key node
 
 let vacate_node t node ~owner =
   if t.cells.(node) <> owner then
     invalid_arg
       (Printf.sprintf "Grid.vacate_node: node %d owned by %d, not %d" node t.cells.(node) owner);
   t.cells.(node) <- free_marker;
-  t.free <- t.free + 1
+  t.free <- t.free + 1;
+  t.version <- t.version + 1;
+  t.fingerprint <- t.fingerprint lxor node_key node
 
 let occupy t box ~owner =
   let idx = Box.indices t.dims box in

@@ -26,6 +26,18 @@ val volume : t -> int
 val free_count : t -> int
 val busy_count : t -> int
 
+val version : t -> int
+(** Total number of single-node mutations (occupies + vacates) applied
+    to this grid so far. Monotonic; {!copy} carries it over. Change
+    trackers ({!Prefix.track}) use it to detect occupancy drift. *)
+
+val fingerprint : t -> int
+(** Occupancy fingerprint: a Zobrist-style xor over the occupied
+    nodes. Equal fingerprints mean (with overwhelming probability)
+    equal free/occupied sets — owner ids do not contribute — and a
+    probe that occupies then vacates a box restores the fingerprint
+    exactly, so finder caches keyed on it survive MFP what-if probes. *)
+
 val owner : t -> int -> int option
 (** [owner t node] is [Some id] if the node (linear index) is owned. *)
 

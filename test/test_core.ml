@@ -303,6 +303,52 @@ let test_baseline_backfill_wins () =
   | _ -> Alcotest.fail "expected three variants"
 
 (* ------------------------------------------------------------------ *)
+(* Golden-file regression: the fig-3 sweep summary must render
+   byte-identically to the committed fixture — sequentially AND with
+   the sweep cells pre-simulated on 2 domains. This locks down both
+   the incremental-finder engine results and the deterministic
+   parallel decomposition in one place.
+
+   After an INTENTIONAL result change, regenerate the fixture with:
+
+     BGL_UPDATE_GOLDEN=$PWD/test/fixtures/fig3_golden.txt \
+       dune exec test/test_core.exe -- test golden *)
+
+let golden_scale =
+  { Figures.n_jobs = 120; seeds = [ 11; 12 ]; a_values = [ 0.; 0.5; 1. ]; fail_fracs = [ 0.; 0.5; 1. ] }
+
+(* cwd is the build directory under [dune runtest] but the project
+   root under [dune exec test/test_core.exe]; accept both. *)
+let golden_path =
+  let candidates = [ "fixtures/fig3_golden.txt"; "test/fixtures/fig3_golden.txt" ] in
+  match List.find_opt Sys.file_exists candidates with
+  | Some p -> p
+  | None -> List.hd candidates
+
+let render_fig3 ~domains =
+  Figures.clear_cache ();
+  let figs = Figures.produce ~domains (fun s -> [ Figures.fig3 s ]) golden_scale in
+  Figures.clear_cache ();
+  String.concat "" (List.map (Format.asprintf "%a@." Series.pp_figure) figs)
+
+let read_golden () =
+  match Sys.getenv_opt "BGL_UPDATE_GOLDEN" with
+  | Some path ->
+      let text = render_fig3 ~domains:1 in
+      Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc text);
+      Printf.printf "golden fixture rewritten: %s\n%!" path;
+      text
+  | None -> In_channel.with_open_bin golden_path In_channel.input_all
+
+let test_fig3_golden_sequential () =
+  Alcotest.(check string) "sequential replay matches fixture" (read_golden ())
+    (render_fig3 ~domains:1)
+
+let test_fig3_golden_parallel () =
+  Alcotest.(check string) "2-domain replay matches fixture" (read_golden ())
+    (render_fig3 ~domains:2)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let tc name f = Alcotest.test_case name `Quick f in
@@ -347,5 +393,10 @@ let () =
         [
           slow "structure" test_baseline_structure;
           slow "backfill wins" test_baseline_backfill_wins;
+        ] );
+      ( "golden",
+        [
+          slow "fig3 sequential" test_fig3_golden_sequential;
+          slow "fig3 two domains" test_fig3_golden_parallel;
         ] );
     ]

@@ -166,6 +166,71 @@ let test_canonical_dedup_full_dim () =
     Finder.all_algos
 
 (* ------------------------------------------------------------------ *)
+(* Finder.Cache: hand-built scenarios *)
+
+let test_cache_basic () =
+  let g = Grid.create Dims.bgl in
+  let cache = Finder.Cache.create g in
+  let direct = Finder.find Finder.Prefix g ~volume:8 in
+  Alcotest.check boxes "cold query" direct (Finder.Cache.find cache ~volume:8);
+  Alcotest.check boxes "memo hit" direct (Finder.Cache.find cache ~volume:8);
+  let hits, misses = Finder.Cache.stats cache in
+  check_int "one hit" 1 hits;
+  check_int "one miss" 1 misses;
+  (* A noted mutation invalidates exactly the stale entries. *)
+  let b = List.hd direct in
+  Grid.occupy g b ~owner:3;
+  Finder.Cache.note_box cache b;
+  Alcotest.check boxes "after occupy" (Finder.find Finder.Prefix g ~volume:8)
+    (Finder.Cache.find cache ~volume:8);
+  check_bool "table stayed incremental" true
+    ((Finder.Cache.table_stats cache).Prefix.full_rebuilds = 0);
+  (* Occupy+vacate restores the fingerprint, so the memo re-hits. *)
+  Grid.vacate g b ~owner:3;
+  Finder.Cache.note_box cache b;
+  ignore (Finder.Cache.find cache ~volume:8);
+  let probe = Box.make (Coord.make 2 2 2) (Shape.make 1 1 2) in
+  Grid.occupy g probe ~owner:4;
+  Finder.Cache.note_box cache probe;
+  Grid.vacate g probe ~owner:4;
+  Finder.Cache.note_box cache probe;
+  let hits_before, _ = Finder.Cache.stats cache in
+  Alcotest.check boxes "restored fingerprint re-hits" direct (Finder.Cache.find cache ~volume:8);
+  let hits_after, _ = Finder.Cache.stats cache in
+  check_int "hit count grew" (hits_before + 1) hits_after
+
+let test_cache_self_heals_unnoted () =
+  let g = Grid.create Dims.bgl in
+  let cache = Finder.Cache.create g in
+  ignore (Finder.Cache.find cache ~volume:4);
+  (* Mutate WITHOUT telling the cache: the fingerprint change kills the
+     memo entry and the version drift forces a full table rebuild — the
+     result must still be correct. *)
+  Grid.occupy_node g 0 ~owner:9;
+  Alcotest.check boxes "correct despite missing note"
+    (Finder.find Finder.Prefix g ~volume:4)
+    (Finder.Cache.find cache ~volume:4);
+  check_bool "healed by full rebuild" true
+    ((Finder.Cache.table_stats cache).Prefix.full_rebuilds >= 1)
+
+let test_differential_mode_toggle () =
+  check_bool "off by default" false (Finder.differential_enabled ());
+  Finder.set_differential true;
+  Fun.protect
+    ~finally:(fun () -> Finder.set_differential false)
+    (fun () ->
+      check_bool "enabled" true (Finder.differential_enabled ());
+      (* Checked queries still agree on a non-trivial grid. *)
+      let g = Grid.create Dims.bgl in
+      Grid.occupy g (Box.make (Coord.make 0 0 0) (Shape.make 2 2 2)) ~owner:1;
+      let cache = Finder.Cache.create g in
+      Alcotest.check boxes "checked cache query"
+        (Finder.find Finder.Naive g ~volume:8)
+        (Finder.Cache.find cache ~volume:8);
+      check_bool "checked exists_free" true (Finder.exists_free g ~volume:64));
+  check_bool "restored" false (Finder.differential_enabled ())
+
+(* ------------------------------------------------------------------ *)
 (* MFP: hand-built scenarios *)
 
 let test_mfp_empty_and_full () =
@@ -344,6 +409,106 @@ let prop_pop_wrap_canonical =
           && (b.shape.sz < d.nz || b.base.z = 0))
         (Finder.find Finder.Pop g ~volume))
 
+(* ------------------------------------------------------------------ *)
+(* Differential properties: random alloc/free sequences, every finder
+   flavour (including the incremental cache) against the naive
+   reference. The op list shrinks as a list, so a failure minimizes to
+   a short mutation sequence; the printer replays it and dumps the
+   resulting grid. *)
+
+let arb_dims = QCheck.make ~print:Dims.to_string dims_gen
+
+(* Decode one op against the grid: claim a fully free box, release a
+   box we own, or toggle a single node. Mutations go through the cache
+   notes, so the cache's incremental table tracks them. *)
+let apply_cache_op g cache (bseed, sseed) =
+  let d = Grid.dims g in
+  let owner = 5 in
+  let sx = 1 + (sseed mod d.Dims.nx) in
+  let sy = 1 + (sseed / 7 mod d.Dims.ny) in
+  let sz = 1 + (sseed / 49 mod d.Dims.nz) in
+  let b = Box.make (Coord.of_index d (bseed mod Dims.volume d)) (Shape.make sx sy sz) in
+  let cells = Box.indices d b in
+  if List.for_all (Grid.is_free g) cells then begin
+    Grid.occupy g b ~owner;
+    Finder.Cache.note_box cache b
+  end
+  else if List.for_all (fun i -> Grid.owner g i = Some owner) cells then begin
+    Grid.vacate g b ~owner;
+    Finder.Cache.note_box cache b
+  end
+  else begin
+    let node = bseed mod Dims.volume d in
+    (match Grid.owner g node with
+    | None -> Grid.occupy_node g node ~owner
+    | Some o -> Grid.vacate_node g node ~owner:o);
+    Finder.Cache.note_node cache node
+  end
+
+let replay_ops (d, wrap, ops) =
+  let g = Grid.create ~wrap d in
+  let cache = Finder.Cache.create g in
+  List.iter (apply_cache_op g cache) ops;
+  (g, cache)
+
+let arb_op_scenario =
+  let arb =
+    QCheck.(
+      quad arb_dims bool
+        (small_list (pair (int_range 0 999) (int_range 0 999)))
+        (int_range 1 40))
+  in
+  QCheck.set_print
+    (fun (d, wrap, ops, volume) ->
+      let g, _ = replay_ops (d, wrap, ops) in
+      Format.asprintf "dims=%s wrap=%b volume=%d ops=%s@.grid after replay:@.%a"
+        (Dims.to_string d) wrap volume
+        (String.concat ";" (List.map (fun (a, b) -> Printf.sprintf "(%d,%d)" a b) ops))
+        Grid.pp g)
+    arb
+
+let prop_differential_all_finders =
+  QCheck.Test.make ~name:"all finders + incremental cache agree after random ops" ~count:150
+    arb_op_scenario
+    (fun (d, wrap, ops, volume) ->
+      let g, cache = replay_ops (d, wrap, ops) in
+      let reference = Finder.find Finder.Naive g ~volume in
+      (* Feasibility and exact result agreement, every flavour. *)
+      List.for_all
+        (fun algo -> Finder.find algo g ~volume = reference)
+        [ Finder.Pop; Finder.Shape_search; Finder.Prefix ]
+      && Finder.find_with (Prefix.build g) g ~volume = reference
+      && Finder.Cache.find cache ~volume = reference
+      && Finder.Cache.find cache ~volume = reference (* memo-hit path *)
+      && Finder.Cache.exists_free cache ~volume = (reference <> [])
+      && Finder.exists_free g ~volume = (reference <> [])
+      (* Validity of every returned partition: free, in-bounds base,
+         exact volume. *)
+      && List.for_all
+           (fun (b : Box.t) ->
+             Coord.in_bounds d b.base && Box.volume b = volume && Grid.box_is_free g b)
+           reference)
+
+let prop_cache_mfp_agrees =
+  QCheck.Test.make ~name:"cached MFP equals uncached MFP after random ops" ~count:150
+    arb_op_scenario
+    (fun (d, wrap, ops, _volume) ->
+      let g, cache = replay_ops (d, wrap, ops) in
+      let plain = Mfp.volume g in
+      let cached = Mfp.volume ~cache g in
+      let again = Mfp.volume ~cache g in
+      plain = cached && again = cached
+      &&
+      match Mfp.box ~cache g with
+      | None -> plain = 0
+      | Some candidate ->
+          let fp = Grid.fingerprint g in
+          let after_plain = Mfp.volume_after g candidate in
+          let after_cached = Mfp.volume_after ~cache g candidate in
+          after_plain = after_cached
+          && Grid.fingerprint g = fp (* probes restored the grid *)
+          && Mfp.volume ~cache g = plain (* memo survived the probes *))
+
 let props =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -356,6 +521,8 @@ let props =
       prop_mfp_matches_naive;
       prop_mfp_box_is_free_and_maximal;
       prop_exists_free_agrees;
+      prop_differential_all_finders;
+      prop_cache_mfp_agrees;
     ]
 
 let () =
@@ -382,6 +549,12 @@ let () =
           tc "find_for_size rounds up" test_find_for_size_rounds_up;
           tc "exists_free" test_exists_free;
           tc "canonical dedup" test_canonical_dedup_full_dim;
+        ] );
+      ( "cache",
+        [
+          tc "memoisation and invalidation" test_cache_basic;
+          tc "self-heals on unnoted mutation" test_cache_self_heals_unnoted;
+          tc "differential mode toggle" test_differential_mode_toggle;
         ] );
       ( "mfp",
         [

@@ -254,6 +254,127 @@ let test_safest_policy () =
   | Some box -> check_bool "avoids doomed even at low confidence" false (Box.member dims box doomed)
 
 (* ------------------------------------------------------------------ *)
+(* Orientation handling: partitions are rectangular and the finder
+   enumerates every rotation of every divisor shape, so the policies
+   must cope with candidate lists mixing orientations — and pick the
+   right one when occupancy or MFP loss singles one out. *)
+
+let shape_t = Alcotest.testable Shape.pp Shape.equal
+
+let candidate_shapes grid volume =
+  candidates_for grid volume
+  |> List.map (fun b -> b.Box.shape)
+  |> List.sort_uniq Shape.compare
+
+let test_candidates_cover_rotations () =
+  (* Empty 4x4x1 grid: every rotation of 4x1x1 and 2x2x1 that fits the
+     dims must appear among the volume-4 candidates — and nothing
+     else. *)
+  let grid = Grid.create ~wrap:false (Dims.make 4 4 1) in
+  Alcotest.(check (list shape_t))
+    "all fitting orientations"
+    [ Shape.make 1 4 1; Shape.make 2 2 1; Shape.make 4 1 1 ]
+    (candidate_shapes grid 4)
+
+let test_orientation_forced_by_occupancy () =
+  (* Occupy all but one row, then all but one column: in each case a
+     single orientation of the volume-4 shape survives and every policy
+     must return it. *)
+  let dims = Dims.make 4 4 1 in
+  let scenarios =
+    [
+      ("row", Box.make (Coord.make 0 1 0) (Shape.make 4 3 1), Shape.make 4 1 1);
+      ("column", Box.make (Coord.make 1 0 0) (Shape.make 3 4 1), Shape.make 1 4 1);
+    ]
+  in
+  List.iter
+    (fun (label, blocker, expect_shape) ->
+      let grid = Grid.create ~wrap:false dims in
+      Grid.occupy grid blocker ~owner:1;
+      let expected = Box.make (Coord.make 0 0 0) expect_shape in
+      Alcotest.(check (list box_t)) (label ^ ": unique candidate") [ expected ]
+        (candidates_for grid 4);
+      List.iter
+        (fun (policy : Policy.t) ->
+          Alcotest.(check (option box_t))
+            (label ^ ": " ^ policy.name)
+            (Some expected)
+            (choose policy grid ~j:(job ~size:4 ()) 4))
+        [ Bgl_sched.Placement.first_fit; Bgl_sched.Placement.mfp ])
+    scenarios
+
+let test_mfp_picks_loss_free_orientation () =
+  (* 4x4x1 with a 2x2 block occupied at (0,2): the 4x1 and 1x4
+     orientations each cost 4 nodes of MFP, but a 2x2 placement can
+     leave an 8-node maximal box untouched. MFP must choose the 2x2
+     orientation. *)
+  let dims = Dims.make 4 4 1 in
+  let grid = Grid.create ~wrap:false dims in
+  Grid.occupy grid (Box.make (Coord.make 0 2 0) (Shape.make 2 2 1)) ~owner:1;
+  match choose Bgl_sched.Placement.mfp grid ~j:(job ~size:4 ()) 4 with
+  | None -> Alcotest.fail "no placement"
+  | Some box ->
+      Alcotest.check shape_t "2x2 orientation" (Shape.make 2 2 1) box.Box.shape;
+      check_int "zero MFP loss" 0 (Bgl_partition.Mfp.loss grid box)
+
+(* ------------------------------------------------------------------ *)
+(* Tie-breaking order: when scores tie, the earliest candidate in list
+   order wins (argmin), and the tie-breaking policy scans ties in the
+   same order. The engine relies on this for deterministic replay. *)
+
+let line4 () = Grid.create ~wrap:false (Dims.make 4 1 1)
+
+let cell i = Box.make (Coord.make i 0 0) (Shape.make 1 1 1)
+
+(* On an empty 4x1x1 line, the end cells 0 and 3 tie at MFP loss 1
+   while the middle cells cost 2: the tied set is {0, 3}. *)
+let line_candidates = [ cell 0; cell 1; cell 2; cell 3 ]
+
+let test_mfp_tie_goes_to_earliest () =
+  let grid = line4 () in
+  let pick candidates =
+    let ctx = Policy.make_ctx ~now:0. grid in
+    Bgl_sched.Placement.mfp.choose ctx ~job:(job ~size:1 ()) ~volume:1 ~candidates
+  in
+  check_int "end cells tie" (Bgl_partition.Mfp.loss grid (cell 0))
+    (Bgl_partition.Mfp.loss grid (cell 3));
+  check_bool "middle costs more" true
+    (Bgl_partition.Mfp.loss grid (cell 1) > Bgl_partition.Mfp.loss grid (cell 0));
+  Alcotest.(check (option box_t)) "forward order: first tied wins" (Some (cell 0))
+    (pick line_candidates);
+  Alcotest.(check (option box_t)) "reversed order: the other end wins" (Some (cell 3))
+    (pick (List.rev line_candidates))
+
+let test_tie_breaking_scan_order () =
+  let grid = line4 () in
+  let pick ~failed candidates =
+    let idx = index_of (List.map (fun node -> (100., node)) failed) in
+    let tb =
+      Bgl_sched.Placement.tie_breaking
+        ~predictor:(Bgl_predict.Predictor.tie_breaking ~accuracy:1.0 ~seed:1 idx)
+        ()
+    in
+    let ctx = Policy.make_ctx ~now:0. grid in
+    tb.Policy.choose ctx
+      ~job:(job ~size:1 ~run_time:600. ~estimate:600. ())
+      ~volume:1 ~candidates
+  in
+  (* No doomed tie: the first tied candidate wins, exactly like mfp. *)
+  Alcotest.(check (option box_t)) "no doom: first tied" (Some (cell 0))
+    (pick ~failed:[ 1 ] line_candidates);
+  (* First tied candidate doomed: skips to the next safe tie, NOT to a
+     safe non-tied candidate (cell 1 is safe but loses more MFP). *)
+  Alcotest.(check (option box_t)) "doomed first tie skipped" (Some (cell 3))
+    (pick ~failed:[ 0 ] line_candidates);
+  (* Every tie doomed: falls back to the first tied candidate. *)
+  Alcotest.(check (option box_t)) "all ties doomed: first tied" (Some (cell 0))
+    (pick ~failed:[ 0; 3 ] line_candidates);
+  (* Order sensitivity survives the predictor: reversed list, reversed
+     winner. *)
+  Alcotest.(check (option box_t)) "reversed: last becomes first" (Some (cell 3))
+    (pick ~failed:[ 1 ] (List.rev line_candidates))
+
+(* ------------------------------------------------------------------ *)
 (* Properties *)
 
 let arb_grid =
@@ -373,6 +494,17 @@ let () =
           tc "tie-breaking only breaks ties" test_tie_breaking_ignores_non_tied_safe;
           tc "random policy" test_random_policy;
           tc "safest policy" test_safest_policy;
+        ] );
+      ( "orientation",
+        [
+          tc "candidates cover rotations" test_candidates_cover_rotations;
+          tc "occupancy forces orientation" test_orientation_forced_by_occupancy;
+          tc "mfp picks loss-free orientation" test_mfp_picks_loss_free_orientation;
+        ] );
+      ( "tie-order",
+        [
+          tc "mfp tie goes to earliest" test_mfp_tie_goes_to_earliest;
+          tc "tie-breaking scan order" test_tie_breaking_scan_order;
         ] );
       ("properties", props);
     ]

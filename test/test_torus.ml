@@ -181,6 +181,36 @@ let test_grid_down_owner () =
   Grid.vacate_node g 0 ~owner:Grid.down_owner;
   check_bool "repaired" true (Grid.is_free g 0)
 
+let test_grid_version_fingerprint () =
+  let g = Grid.create Dims.bgl in
+  check_int "fresh version" 0 (Grid.version g);
+  check_int "fresh fingerprint" 0 (Grid.fingerprint g);
+  let b = Box.make (Coord.make 0 0 0) (Shape.make 2 2 2) in
+  Grid.occupy g b ~owner:7;
+  check_int "version counts cells" 8 (Grid.version g);
+  let fp_occupied = Grid.fingerprint g in
+  check_bool "occupied fingerprint differs" true (fp_occupied <> 0);
+  (* Same occupancy under a different owner: same fingerprint. *)
+  let g2 = Grid.create Dims.bgl in
+  Grid.occupy g2 b ~owner:3;
+  check_int "owner-independent" fp_occupied (Grid.fingerprint g2);
+  (* A probe (occupy then vacate) restores the fingerprint but not the
+     version. *)
+  let probe = Box.make (Coord.make 2 2 2) (Shape.make 2 1 1) in
+  Grid.occupy g probe ~owner:9;
+  check_bool "probe changes fingerprint" true (Grid.fingerprint g <> fp_occupied);
+  Grid.vacate g probe ~owner:9;
+  check_int "probe restores fingerprint" fp_occupied (Grid.fingerprint g);
+  check_int "version is monotonic" 12 (Grid.version g);
+  (* Vacating back to empty restores the empty fingerprint. *)
+  Grid.vacate g b ~owner:7;
+  check_int "empty again" 0 (Grid.fingerprint g);
+  (* copy carries both. *)
+  Grid.occupy g b ~owner:7;
+  let c = Grid.copy g in
+  check_int "copy version" (Grid.version g) (Grid.version c);
+  check_int "copy fingerprint" (Grid.fingerprint g) (Grid.fingerprint c)
+
 (* ------------------------------------------------------------------ *)
 (* Prefix *)
 
@@ -225,6 +255,48 @@ let test_prefix_matches_direct () =
                  (ok shape.sz d.nz)))
         shapes)
     [ true; false ]
+
+let test_prefix_track_incremental () =
+  let d = Dims.bgl in
+  let g = Grid.create d in
+  let t = Prefix.track g in
+  let b = Box.make (Coord.make 1 2 3) (Shape.make 2 2 2) in
+  Grid.occupy g b ~owner:4;
+  Prefix.note_box t b;
+  check_bool "stale before sync" true (Prefix.is_stale t);
+  check_int "counts after occupy" 8 (Prefix.occupied_in_box t (Box.make (Coord.make 0 0 0) (Shape.make 4 4 8)));
+  check_bool "synced by query" false (Prefix.is_stale t);
+  check_bool "equals fresh build" true (Prefix.equal t (Prefix.build g));
+  let s = Prefix.stats t in
+  check_int "one incremental update" 1 s.Prefix.incremental_updates;
+  check_int "no full rebuild" 0 s.Prefix.full_rebuilds;
+  (* A box wrapping past an axis end is noted from corner 0 of that
+     axis and still lands on the right cells. *)
+  let wrapping = Box.make (Coord.make 3 3 7) (Shape.make 2 2 2) in
+  Grid.occupy g wrapping ~owner:5;
+  Prefix.note_box t wrapping;
+  check_bool "wrapping box incremental" true (Prefix.equal t (Prefix.build g));
+  check_int "still no full rebuild" 0 (Prefix.stats t).Prefix.full_rebuilds
+
+let test_prefix_track_self_heals () =
+  let d = Dims.bgl in
+  let g = Grid.create d in
+  let t = Prefix.track g in
+  (* Mutate WITHOUT noting: the tracker must detect the drift via the
+     grid version and fall back to a full rebuild, never serving stale
+     counts. *)
+  Grid.occupy_node g 17 ~owner:2;
+  check_int "unnoted change still counted" 1
+    (Prefix.occupied_in_box t (Box.make (Coord.make 0 0 0) (Shape.make 4 4 8)));
+  check_int "healed by full rebuild" 1 (Prefix.stats t).Prefix.full_rebuilds;
+  (* Same when notes cover only part of a batch of mutations. *)
+  Grid.occupy_node g 3 ~owner:2;
+  Grid.occupy_node g 5 ~owner:2;
+  Prefix.note_node t 3;
+  check_int "partial notes also rebuild" 3
+    (Prefix.occupied_in_box t (Box.make (Coord.make 0 0 0) (Shape.make 4 4 8)));
+  check_int "second full rebuild" 2 (Prefix.stats t).Prefix.full_rebuilds;
+  check_bool "matches fresh build" true (Prefix.equal t (Prefix.build g))
 
 (* ------------------------------------------------------------------ *)
 (* Properties *)
@@ -324,6 +396,86 @@ let prop_prefix_agrees =
       let direct = List.length (List.filter (fun i -> not (Grid.is_free g i)) (Box.indices d b)) in
       Prefix.occupied_in_box table b = direct)
 
+(* Random alloc/free sequences against a tracking table. Each op is a
+   pair of seeds decoded against the dims: it either claims a fully
+   free box, releases a box we own, or toggles one node. Every mutation
+   is noted, so the tracker must stay equal to a from-scratch build
+   using only incremental updates. The op list shrinks as a list, so
+   counterexamples minimize to short sequences. *)
+let apply_op g table (bseed, sseed) =
+  let d = Grid.dims g in
+  let owner = 5 in
+  let sx = 1 + (sseed mod d.nx) in
+  let sy = 1 + (sseed / 7 mod d.ny) in
+  let sz = 1 + (sseed / 49 mod d.nz) in
+  let b = Box.make (Coord.of_index d (bseed mod Dims.volume d)) (Shape.make sx sy sz) in
+  let cells = Box.indices d b in
+  if List.for_all (Grid.is_free g) cells then begin
+    Grid.occupy g b ~owner;
+    Prefix.note_box table b
+  end
+  else if List.for_all (fun i -> Grid.owner g i = Some owner) cells then begin
+    Grid.vacate g b ~owner;
+    Prefix.note_box table b
+  end
+  else begin
+    let node = bseed mod Dims.volume d in
+    (match Grid.owner g node with
+    | None -> Grid.occupy_node g node ~owner
+    | Some o -> Grid.vacate_node g node ~owner:o);
+    Prefix.note_node table node
+  end
+
+let prop_prefix_incremental_equals_rebuild =
+  QCheck.Test.make ~name:"incremental prefix state = from-scratch rebuild" ~count:200
+    QCheck.(
+      pair (pair arb_dims bool) (small_list (pair (int_range 0 999) (int_range 0 999))))
+    (fun ((d, wrap), ops) ->
+      let g = Grid.create ~wrap d in
+      let table = Prefix.track g in
+      (* Sync at every step, not just at the end: each op must be
+         digestible as a dirty-block update on its own. *)
+      List.iter
+        (fun op ->
+          apply_op g table op;
+          if not (Prefix.equal table (Prefix.build g)) then
+            QCheck.Test.fail_reportf "tracker diverged after an op:@.%a" Grid.pp g)
+        ops;
+      let s = Prefix.stats table in
+      if s.Prefix.full_rebuilds > 0 then
+        QCheck.Test.fail_reportf "noted mutations caused %d full rebuilds" s.Prefix.full_rebuilds;
+      true)
+
+let prop_prefix_batched_notes =
+  QCheck.Test.make ~name:"batched notes merge into one dirty region" ~count:200
+    QCheck.(
+      pair (pair arb_dims bool) (small_list (pair (int_range 0 999) (int_range 0 999))))
+    (fun ((d, wrap), ops) ->
+      let g = Grid.create ~wrap d in
+      let table = Prefix.track g in
+      (* All ops first, one sync at the end: the dirty corners must
+         merge correctly. *)
+      List.iter (apply_op g table) ops;
+      Prefix.equal table (Prefix.build g))
+
+let prop_fingerprint_tracks_occupancy =
+  QCheck.Test.make ~name:"fingerprint identifies the free/occupied set" ~count:200
+    QCheck.(
+      pair (pair arb_dims bool) (small_list (pair (int_range 0 999) (int_range 0 999))))
+    (fun ((d, wrap), ops) ->
+      let g = Grid.create ~wrap d in
+      let reference = Grid.create ~wrap d in
+      (* Replay the same occupancy into [reference] node by node, in a
+         different order and under different owners: fingerprints must
+         still agree, and version must count every mutation. *)
+      let table = Prefix.track g in
+      List.iter (apply_op g table) ops;
+      for node = Dims.volume d - 1 downto 0 do
+        if not (Grid.is_free g node) then Grid.occupy_node reference node ~owner:11
+      done;
+      Grid.fingerprint reference = Grid.fingerprint g
+      && Grid.version g >= Grid.busy_count g)
+
 let props =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -333,6 +485,9 @@ let props =
       prop_member_matches_cells;
       prop_grid_free_count;
       prop_prefix_agrees;
+      prop_prefix_incremental_equals_rebuild;
+      prop_prefix_batched_notes;
+      prop_fingerprint_tracks_occupancy;
     ]
 
 let () =
@@ -370,7 +525,13 @@ let () =
           tc "copy independent" test_grid_copy_independent;
           tc "owners" test_grid_owners;
           tc "down owner" test_grid_down_owner;
+          tc "version and fingerprint" test_grid_version_fingerprint;
         ] );
-      ("prefix", [ tc "matches direct counts" test_prefix_matches_direct ]);
+      ( "prefix",
+        [
+          tc "matches direct counts" test_prefix_matches_direct;
+          tc "incremental tracking" test_prefix_track_incremental;
+          tc "self-heals on unnoted changes" test_prefix_track_self_heals;
+        ] );
       ("properties", props);
     ]
