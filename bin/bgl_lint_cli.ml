@@ -1,0 +1,74 @@
+(* bgl-lint: the determinism & domain-safety static analyzer.
+
+     bgl-lint lib bin test                 # human report, .lint-waivers applied
+     bgl-lint --format jsonl lib           # one JSON object per finding
+     bgl-lint --no-waivers lib             # report waived findings too
+
+   Exit codes follow the Bgl_resilience.Error conventions: 0 clean,
+   1 non-waived findings (or stale waivers), 2 usage, 65 a source or
+   waiver file failed to parse, 74 I/O. *)
+
+open Cmdliner
+
+let paths =
+  Arg.(
+    non_empty & pos_all string []
+    & info [] ~docv:"PATH" ~doc:"Files or directories to scan (directories recurse to *.ml).")
+
+let waivers_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "waivers" ] ~docv:"FILE"
+        ~doc:"Waiver file (default: .lint-waivers in the current directory, when present).")
+
+let no_waivers =
+  Arg.(
+    value & flag
+    & info [ "no-waivers" ]
+        ~doc:"Ignore the waiver file and report every finding (CI uses this to smoke-check the \
+              JSONL stream on a known-nonempty report).")
+
+let default_waivers = ".lint-waivers"
+
+let run format quiet waivers_file no_waivers paths =
+  Bgl_resilience.Error.run ~prog:"bgl-lint" @@ fun () ->
+  Bgl_core.Cli_flags.set_quiet quiet;
+  let ( let* ) = Result.bind in
+  let* waivers =
+    if no_waivers then Ok []
+    else
+      match waivers_file with
+      | Some path -> Bgl_lint.Waivers.load path
+      | None ->
+          if Sys.file_exists default_waivers then Bgl_lint.Waivers.load default_waivers
+          else Ok []
+  in
+  let* outcome = Bgl_lint.Driver.run ~waivers paths in
+  (match format with
+  | Bgl_core.Cli_flags.Human -> Format.printf "%a@?" Bgl_lint.Driver.pp_human outcome
+  | Bgl_core.Cli_flags.Jsonl ->
+      List.iter print_endline (Bgl_lint.Driver.to_jsonl outcome));
+  Bgl_core.Cli_flags.notef "%a@." Bgl_lint.Driver.pp_summary outcome;
+  Ok (if Bgl_lint.Driver.clean outcome then 0 else 1)
+
+let cmd =
+  let doc = "statically check the tree for determinism and domain-safety violations" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Parses every $(b,*.ml) under the given paths with the compiler's own parser and \
+         reports the rule violations R1-R6 (wall-clock reads, stdlib Random, unsynchronized \
+         top-level mutable state, swallowed exceptions, float-literal equality, stray stdout in \
+         lib/). Findings a $(b,.lint-waivers) entry covers are suppressed; waivers that cover \
+         nothing are stale and reported as findings themselves.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "bgl-lint" ~doc ~man)
+    Term.(
+      const run $ Bgl_core.Cli_flags.format $ Bgl_core.Cli_flags.quiet $ waivers_file
+      $ no_waivers $ paths)
+
+let () = exit (Cmd.eval' cmd)

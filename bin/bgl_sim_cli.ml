@@ -108,10 +108,7 @@ let progress =
   Arg.(value & opt (some int) None & info [ "progress" ] ~docv:"N"
          ~doc:"Print a heartbeat line to stderr every N simulation events.")
 
-let quiet =
-  Arg.(value & flag & info [ "quiet"; "q" ]
-         ~doc:"Suppress informational notes (skipped/malformed trace lines), for script use. \
-               Errors still print.")
+let quiet = Bgl_core.Cli_flags.quiet
 
 let fail =
   Arg.(value & opt_all string [] & info [ "fail" ] ~docv:"SPEC"
@@ -138,6 +135,7 @@ let arm_failpoints specs =
 let run profile swf failure_log n_jobs load failures algo seed no_backfill migration repair
     checkpoint per_job timeline metrics_out trace_out progress quiet fail differential =
   Bgl_resilience.Error.run ~prog:"bgl-sim" @@ fun () ->
+  Bgl_core.Cli_flags.set_quiet quiet;
   let ( let* ) = Result.bind in
   let* () = arm_failpoints fail in
   Bgl_partition.Finder.set_differential differential;
@@ -173,8 +171,9 @@ let run profile swf failure_log n_jobs load failures algo seed no_backfill migra
           | Some path -> (
               match Bgl_trace.Swf.load path with
               | Ok (log, report) ->
-                  if (not quiet) && (report.skipped > 0 || report.malformed <> []) then
-                    Format.eprintf "note: %d jobs skipped, %d malformed lines@." report.skipped
+                  if report.skipped > 0 || report.malformed <> [] then
+                    Bgl_core.Cli_flags.notef "note: %d jobs skipped, %d malformed lines@."
+                      report.skipped
                       (List.length report.malformed);
                   Ok (Bgl_trace.Job_log.scale_runtime ~c:load log)
               | Error msg -> Error (Bgl_resilience.Error.Parse { name = path; detail = msg }))
@@ -264,6 +263,7 @@ let run profile swf failure_log n_jobs load failures algo seed no_backfill migra
 (* bench: one full simulation with span timing on, then the profile *)
 
 let bench profile n_jobs load failures algo seed no_backfill migration metrics_out =
+  Bgl_resilience.Error.run ~prog:"bgl-sim" @@ fun () ->
   let obs = Bgl_core.Obs_cli.setup ?metrics_out () in
   Bgl_obs.Span.set_enabled true;
   let config = { Bgl_sim.Config.default with backfill = not no_backfill; migration } in
@@ -279,7 +279,7 @@ let bench profile n_jobs load failures algo seed no_backfill migration metrics_o
   Format.printf "wall time: %.3f s@.@." wall;
   Format.printf "%a@." Bgl_obs.Span.pp_profile ();
   Bgl_core.Obs_cli.finish ~report:outcome.report obs;
-  0
+  Ok 0
 
 let run_term =
   Term.(

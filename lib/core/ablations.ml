@@ -14,7 +14,7 @@ let combine_rule (scale : Figures.scale) =
     Series.series ~label
       (List.filter_map
          (fun a ->
-           if a = 0. then None
+           if a <= 0. then None
            else
              let mk ~seed =
                Scenario.make ~n_jobs:scale.n_jobs ~seed ~combine ~profile:sdsc
@@ -34,7 +34,7 @@ let false_positives (scale : Figures.scale) =
     Series.series ~label:(Printf.sprintf "p_f+=%g" fp)
       (List.filter_map
          (fun a ->
-           if a = 0. then None
+           if a <= 0. then None
            else
              let mk ~seed =
                Scenario.make ~n_jobs:scale.n_jobs ~seed ~false_positive:fp ~profile:sdsc
@@ -55,7 +55,7 @@ let checkpointing (scale : Figures.scale) =
   let intervals = [ (0., "none"); (1800., "30min"); (3600., "1h"); (14400., "4h") ] in
   let point (interval, _) metric =
     let config =
-      if interval = 0. then Bgl_sim.Config.default
+      if interval <= 0. then Bgl_sim.Config.default
       else
         with_checkpoint (Some (Bgl_sim.Checkpoint.Periodic { interval; overhead = 60. }))
           Bgl_sim.Config.default
@@ -80,7 +80,7 @@ let adaptive_checkpointing (scale : Figures.scale) =
     Series.series ~label
       (List.filter_map
          (fun a ->
-           if a = 0. then None
+           if a <= 0. then None
            else
              let config = with_checkpoint spec Bgl_sim.Config.default in
              let mk ~seed =

@@ -1,0 +1,47 @@
+type format = Human | Jsonl
+
+let format_conv =
+  let parse = function
+    | "human" -> Ok Human
+    | "jsonl" | "json" -> Ok Jsonl
+    | s -> Error (`Msg (Printf.sprintf "unknown format %S (human, jsonl)" s))
+  in
+  let print ppf f = Format.pp_print_string ppf (match f with Human -> "human" | Jsonl -> "jsonl") in
+  Cmdliner.Arg.conv (parse, print)
+
+let format =
+  Cmdliner.Arg.(
+    value
+    & opt format_conv Human
+    & info [ "format" ] ~docv:"FORMAT"
+        ~doc:"Report format: human-readable lines, or jsonl (one JSON object per line, for \
+              tooling).")
+
+let quiet =
+  Cmdliner.Arg.(
+    value
+    & flag
+    & info [ "quiet"; "q" ]
+        ~doc:"Suppress informational notes (skipped/malformed trace lines, scan summaries), for \
+              script use. Errors still print.")
+
+let quiet_state = Atomic.make false
+let set_quiet b = Atomic.set quiet_state b
+let quiet_enabled () = Atomic.get quiet_state
+
+let notef fmt =
+  if Atomic.get quiet_state then Format.ifprintf Format.err_formatter fmt
+  else Format.eprintf fmt
+
+let usage_failf fmt = Bgl_resilience.Error.raise_usagef fmt
+
+let open_out_or_fail path =
+  try open_out path
+  with Sys_error detail -> raise (Bgl_resilience.Error.Cli (Io { path; detail }))
+
+let write_registry ~path reg =
+  let oc = open_out_or_fail path in
+  output_string oc
+    (if Filename.check_suffix path ".csv" then Bgl_obs.Registry.to_csv reg
+     else Bgl_obs.Registry.to_prometheus reg);
+  close_out oc

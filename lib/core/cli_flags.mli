@@ -1,0 +1,39 @@
+(** Flag plumbing shared by every CLI (bgl-sim, bgl-sweep, bgl-trace,
+    bgl-lint), so [--quiet] and [--format] mean one thing everywhere
+    instead of being re-declared per tool.
+
+    Error paths raise {!Bgl_resilience.Error.Cli} rather than printing
+    and exiting here: the tools all evaluate inside
+    {!Bgl_resilience.Error.run}, which turns the exception into the
+    documented one-line report and exit code. *)
+
+type format = Human | Jsonl
+
+val format_conv : format Cmdliner.Arg.conv
+
+val format : format Cmdliner.Term.t
+(** [--format human|jsonl], default human. *)
+
+val quiet : bool Cmdliner.Term.t
+(** [--quiet] / [-q]. *)
+
+val set_quiet : bool -> unit
+(** Install the flag's value process-wide so library-level note paths
+    ({!notef}) need no threading. *)
+
+val quiet_enabled : unit -> bool
+
+val notef : ('a, Format.formatter, unit) Stdlib.format -> 'a
+(** Informational note to stderr; dropped entirely under [--quiet]. *)
+
+val usage_failf : ('a, unit, string, 'b) format4 -> 'a
+(** Flag-validation failure: raises [Error.Cli (Usage _)] (exit 2). *)
+
+val open_out_or_fail : string -> out_channel
+(** [open_out], with failure mapped to [Error.Cli (Io _)] (exit 74) —
+    used to fail on unwritable output paths before a long run. *)
+
+val write_registry : path:string -> Bgl_obs.Registry.t -> unit
+(** Write a metrics snapshot; the [.csv] extension selects CSV,
+    anything else Prometheus text (the convention every tool's
+    [--metrics-out] documents). *)

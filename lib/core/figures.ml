@@ -141,11 +141,11 @@ let intro_claim scale =
 
 let fig3 scale =
   let algo_of a =
-    if a = 0. then Scenario.Fault_oblivious else Scenario.Balancing { confidence = a }
+    if a <= 0. then Scenario.Fault_oblivious else Scenario.Balancing { confidence = a }
   in
   let series a =
     Series.series
-      ~label:(if a = 0. then "no prediction" else Printf.sprintf "a=%g" a)
+      ~label:(if a <= 0. then "no prediction" else Printf.sprintf "a=%g" a)
       (List.map
          (fun failures ->
            let mk ~seed =
@@ -203,7 +203,7 @@ let fig5 scale =
     [ ("a", 1.0); ("b", 1.2) ]
 
 let confidence_sweep scale ~profile ~load metric a =
-  let algo = if a = 0. then Scenario.Fault_oblivious else Scenario.Balancing { confidence = a } in
+  let algo = if a <= 0. then Scenario.Fault_oblivious else Scenario.Balancing { confidence = a } in
   let mk ~seed = Scenario.make ~n_jobs:scale.n_jobs ~load ~seed ~profile algo in
   avg scale mk metric
 
@@ -255,7 +255,7 @@ let fig8 scale =
 
 let accuracy_sweep scale ~profile ~load metric a =
   let algo =
-    if a = 0. then Scenario.Fault_oblivious else Scenario.Tie_breaking { accuracy = a }
+    if a <= 0. then Scenario.Fault_oblivious else Scenario.Tie_breaking { accuracy = a }
   in
   let mk ~seed = Scenario.make ~n_jobs:scale.n_jobs ~load ~seed ~profile algo in
   avg scale mk metric

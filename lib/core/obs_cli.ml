@@ -4,28 +4,16 @@ type t = {
   trace_channel : out_channel option;
 }
 
-(* Flag validation errors are the user's, not ours: report them
-   cleanly and exit instead of letting cmdliner print an "internal
-   error" backtrace. *)
-let usage_error fmt =
-  Format.kasprintf
-    (fun msg ->
-      prerr_endline ("bgl: " ^ msg);
-      exit 1)
-    fmt
-
-let open_out_or_die path =
-  try open_out path with Sys_error reason -> usage_error "cannot open %s (%s)" path reason
-
 let setup ?metrics_out ?trace_out ?progress () =
   Option.iter
-    (fun every -> if every < 1 then usage_error "--progress must be >= 1 (got %d)" every)
+    (fun every ->
+      if every < 1 then Cli_flags.usage_failf "--progress must be >= 1 (got %d)" every)
     progress;
   let registry =
     Option.map
       (fun path ->
         (* Fail now, not after a long run, if the path is unwritable. *)
-        close_out (open_out_or_die path);
+        close_out (Cli_flags.open_out_or_fail path);
         let reg = Bgl_obs.Registry.create () in
         Bgl_obs.Runtime.set_registry reg;
         reg)
@@ -34,7 +22,7 @@ let setup ?metrics_out ?trace_out ?progress () =
   let trace_channel =
     Option.map
       (fun path ->
-        let oc = open_out_or_die path in
+        let oc = Cli_flags.open_out_or_fail path in
         (* One [output_string] per line: OCaml 5 channels lock per
            operation, so whole lines stay atomic even when worker
            domains trace into the same channel. *)
@@ -52,11 +40,7 @@ let finish ?report t =
   | Some reg, Some path ->
       Option.iter (Bgl_sim.Metrics.report_to_registry reg) report;
       Bgl_obs.Span.export reg;
-      let oc = open_out path in
-      output_string oc
-        (if Filename.check_suffix path ".csv" then Bgl_obs.Registry.to_csv reg
-         else Bgl_obs.Registry.to_prometheus reg);
-      close_out oc
+      Cli_flags.write_registry ~path reg
   | _ -> ());
   Option.iter
     (fun oc ->

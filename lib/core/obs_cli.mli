@@ -10,7 +10,9 @@ type t
 val setup : ?metrics_out:string -> ?trace_out:string -> ?progress:int -> unit -> t
 (** Install a live registry (when [metrics_out] is given), a JSONL
     trace writer onto a freshly opened [trace_out], and a heartbeat
-    printing to stderr every [progress] events. *)
+    printing to stderr every [progress] events. Bad flag values and
+    unwritable paths raise {!Bgl_resilience.Error.Cli} (the callers
+    all run under {!Bgl_resilience.Error.run}). *)
 
 val finish : ?report:Bgl_sim.Metrics.report -> t -> unit
 (** Publish [report] and any recorded spans into the registry, write

@@ -1,0 +1,86 @@
+let describe_parse_exn exn =
+  match Location.error_of_exn exn with
+  | Some (`Ok report) -> (
+      match report.Location.main with
+      | { loc; txt } -> Format.asprintf "%a: %t" Location.print_loc loc txt)
+  | _ -> Printexc.to_string exn
+
+let lint_source ~path src =
+  let lexbuf = Lexing.from_string src in
+  Location.init lexbuf path;
+  match Parse.implementation lexbuf with
+  | structure -> Ok (Rules.check ~path structure)
+  | exception exn ->
+      Error (Bgl_resilience.Error.Parse { name = path; detail = describe_parse_exn exn })
+
+let lint_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | src -> lint_source ~path src
+  | exception Sys_error detail -> Error (Bgl_resilience.Error.Io { path; detail })
+
+let skip_dir name = name = "_build" || name = "_opam" || String.starts_with ~prefix:"." name
+
+(* Deterministic file discovery: sorted at every level, so findings
+   come out in the same order on every machine. *)
+let collect_files paths =
+  let rec add_path acc path =
+    Result.bind acc (fun acc ->
+        match Sys.is_directory path with
+        | true ->
+            let entries = Sys.readdir path in
+            Array.sort String.compare entries;
+            Array.fold_left
+              (fun acc entry ->
+                let child = Filename.concat path entry in
+                if Sys.is_directory child then
+                  if skip_dir entry then acc else add_path acc child
+                else if Filename.check_suffix entry ".ml" then Result.map (List.cons child) acc
+                else acc)
+              (Ok acc) entries
+        | false ->
+            if Sys.file_exists path then Ok (path :: acc)
+            else Error (Bgl_resilience.Error.Io { path; detail = "no such file or directory" })
+        | exception Sys_error detail -> Error (Bgl_resilience.Error.Io { path; detail }))
+  in
+  Result.map List.rev (List.fold_left add_path (Ok []) paths)
+
+type outcome = {
+  files_scanned : int;
+  findings : Finding.t list;
+  waived : int;
+  stale : Waivers.entry list;
+}
+
+let clean outcome = outcome.findings = [] && outcome.stale = []
+
+let run ?(waivers = []) paths =
+  Result.bind (collect_files paths) (fun files ->
+      let rec lint_all acc = function
+        | [] -> Ok (List.rev acc)
+        | file :: rest ->
+            Result.bind (lint_file file) (fun findings -> lint_all (findings :: acc) rest)
+      in
+      Result.map
+        (fun per_file ->
+          let all = List.sort Finding.compare (List.concat per_file) in
+          let { Waivers.kept; waived; stale } = Waivers.apply waivers all ~scanned:files in
+          { files_scanned = List.length files; findings = kept; waived; stale })
+        (lint_all [] files))
+
+let pp_human ppf t =
+  List.iter (fun f -> Format.fprintf ppf "%a@." Finding.pp f) t.findings;
+  List.iter (fun e -> Format.fprintf ppf "%a@." Waivers.pp_stale e) t.stale
+
+let to_jsonl t =
+  List.map Finding.to_json t.findings @ List.map Waivers.stale_to_json t.stale
+
+let pp_summary ppf t =
+  Format.fprintf ppf "bgl-lint: %d file%s, %d finding%s (%d waived)%s"
+    t.files_scanned
+    (if t.files_scanned = 1 then "" else "s")
+    (List.length t.findings)
+    (if List.length t.findings = 1 then "" else "s")
+    t.waived
+    (match t.stale with
+    | [] -> ""
+    | l -> Printf.sprintf ", %d stale waiver%s" (List.length l) (if List.length l = 1 then "" else "s"))

@@ -1,0 +1,43 @@
+(** The analysis driver: file discovery, parsing
+    ([Parse.implementation] from compiler-libs — the linter sees
+    exactly the grammar the compiler sees), rule dispatch, waiver
+    application, rendering.
+
+    Failures route through {!Bgl_resilience.Error}: unreadable inputs
+    are [Io] (exit 74), source or waiver files that do not parse are
+    [Parse] (exit 65). Findings are data, not errors — the CLI maps a
+    non-{!clean} outcome to exit 1. *)
+
+val lint_source : path:string -> string -> (Finding.t list, Bgl_resilience.Error.t) result
+(** Analyze one implementation given as a string ([path] labels
+    locations and selects path-sensitive rules like R6). Never raises;
+    unparseable source is [Error (Parse _)]. *)
+
+val lint_file : string -> (Finding.t list, Bgl_resilience.Error.t) result
+
+val collect_files : string list -> (string list, Bgl_resilience.Error.t) result
+(** Expand the argument paths: directories recurse to every [*.ml]
+    (skipping [_build], [_opam] and dot-directories), files pass
+    through. Deterministically sorted per directory level. *)
+
+type outcome = {
+  files_scanned : int;
+  findings : Finding.t list;  (** non-waived, in {!Finding.compare} order *)
+  waived : int;
+  stale : Waivers.entry list;
+}
+
+val clean : outcome -> bool
+(** No findings and no stale waivers — the build may pass. *)
+
+val run : ?waivers:Waivers.t -> string list -> (outcome, Bgl_resilience.Error.t) result
+
+val pp_human : Format.formatter -> outcome -> unit
+(** One ["file:line:col"] line per finding, then stale waivers. *)
+
+val to_jsonl : outcome -> string list
+(** One JSON object per finding / stale waiver, parseable by
+    {!Bgl_obs.Jsonl.parse}. *)
+
+val pp_summary : Format.formatter -> outcome -> unit
+(** One-line scan summary for stderr. *)

@@ -1,0 +1,273 @@
+open Parsetree
+module SSet = Set.Make (String)
+
+(* R1: ambient time sources. The allowlist mechanism is the waiver
+   file, not this list — every hit is reported. *)
+let wall_clock_reads = [ "Unix.gettimeofday"; "Unix.time"; "Sys.time" ]
+
+(* R6: writers that bypass Bgl_obs sinks / caller-supplied
+   formatters. Only checked under lib/ — CLIs and tests own their
+   stdout. *)
+let stray_writers =
+  [
+    "print_endline";
+    "print_string";
+    "print_newline";
+    "print_char";
+    "print_int";
+    "print_float";
+    "print_bytes";
+    "prerr_endline";
+    "prerr_string";
+    "prerr_newline";
+    "prerr_char";
+    "prerr_bytes";
+    "Printf.printf";
+    "Printf.eprintf";
+    "Format.printf";
+    "Format.eprintf";
+  ]
+
+(* R3: constructors whose result is shared mutable state when bound at
+   the top of a module... *)
+let mutable_makers =
+  [
+    "ref";
+    "Hashtbl.create";
+    "Buffer.create";
+    "Queue.create";
+    "Stack.create";
+    "Array.make";
+    "Array.create_float";
+    "Bytes.create";
+    "Bytes.make";
+  ]
+
+(* ...unless the binding is one of the sanctioned wrappers. A
+   [Mutex.create] binding is itself fine: it exists to guard its
+   neighbours. *)
+let safe_makers = [ "Atomic.make"; "Mutex.create"; "Domain.DLS.new_key" ]
+
+let rec flatten_lid acc = function
+  | Longident.Lident s -> Some (s :: acc)
+  | Longident.Ldot (l, s) -> flatten_lid (s :: acc) l
+  | Longident.Lapply _ -> None
+
+let dotted lid = Option.map (String.concat ".") (flatten_lid [] lid)
+
+let in_lib path =
+  String.starts_with ~prefix:"lib/" path
+  || String.starts_with ~prefix:"./lib/" path
+  ||
+  let needle = "/lib/" in
+  let n = String.length needle and len = String.length path in
+  let rec scan i = i + n <= len && (String.sub path i n = needle || scan (i + 1)) in
+  scan 0
+
+(* ------------------------------------------------------------------ *)
+(* Expression-level rules: R1, R2, R4, R5, R6. *)
+
+let rec catch_all_pat p =
+  match p.ppat_desc with
+  | Ppat_any -> true
+  | Ppat_alias (p, _) | Ppat_constraint (p, _) -> catch_all_pat p
+  | Ppat_or (a, b) -> catch_all_pat a || catch_all_pat b
+  | _ -> false
+
+let rec float_literal e =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_float _) -> true
+  | Pexp_constraint (e, _) -> float_literal e
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt = Lident ("~-." | "~+."); _ }; _ }, [ (_, e) ]) ->
+      float_literal e
+  | _ -> false
+
+let expr_rule ~lib add (iter : Ast_iterator.iterator) e =
+  (match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> (
+      match flatten_lid [] txt with
+      | None -> ()
+      | Some parts ->
+          let p = String.concat "." parts in
+          if List.mem p wall_clock_reads then
+            add Finding.R1 e.pexp_loc
+              (Printf.sprintf
+                 "ambient wall-clock read %s breaks replayability; take the time source as an \
+                  argument (or waive the site)"
+                 p);
+          (match parts with
+          | "Random" :: _ :: _ ->
+              add Finding.R2 e.pexp_loc
+                (Printf.sprintf "%s bypasses the seeded Bgl_stats.Rng; draw from an Rng.t split \
+                                 from the scenario seed" p)
+          | _ -> ());
+          if lib && List.mem p stray_writers then
+            add Finding.R6 e.pexp_loc
+              (Printf.sprintf
+                 "%s writes to a global channel from library code; route output through Bgl_obs \
+                  sinks or a Format.formatter passed by the caller"
+                 p))
+  | Pexp_try (_, cases) ->
+      List.iter
+        (fun c ->
+          if catch_all_pat c.pc_lhs then
+            add Finding.R4 c.pc_lhs.ppat_loc
+              "catch-all exception handler would swallow typed control exceptions \
+               (Budget_exceeded, Divergence, Injected); match the exceptions you mean to handle")
+        cases
+  | Pexp_match (_, cases) ->
+      List.iter
+        (fun c ->
+          match c.pc_lhs.ppat_desc with
+          | Ppat_exception p when catch_all_pat p ->
+              add Finding.R4 c.pc_lhs.ppat_loc
+                "catch-all exception case would swallow typed control exceptions \
+                 (Budget_exceeded, Divergence, Injected); match the exceptions you mean to handle"
+          | _ -> ())
+        cases
+  | Pexp_apply
+      ( { pexp_desc = Pexp_ident { txt = Lident (("=" | "<>") as op); _ }; _ },
+        [ (_, a); (_, b) ] )
+    when float_literal a || float_literal b ->
+      add Finding.R5 e.pexp_loc
+        (Printf.sprintf
+           "(%s) against a float literal is brittle under rounding; compare with an inequality \
+            or an explicit tolerance"
+           op)
+  | _ -> ());
+  Ast_iterator.default_iterator.expr iter e
+
+(* ------------------------------------------------------------------ *)
+(* R3: structure-level scan of top-level bindings. *)
+
+let binding_name pat =
+  let rec go p =
+    match p.ppat_desc with
+    | Ppat_var { txt; _ } -> Some txt
+    | Ppat_constraint (p, _) -> go p
+    | _ -> None
+  in
+  go pat
+
+let rec rhs_head e =
+  match e.pexp_desc with
+  | Pexp_constraint (e, _) -> rhs_head e
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) -> dotted txt
+  | _ -> None
+
+(* Mutable field names declared by the [items] of one structure (plus
+   anything inherited from enclosing structures): a top-level literal
+   of such a record is shared mutable state just like a ref. *)
+let mutable_fields items inherited =
+  List.fold_left
+    (fun set item ->
+      match item.pstr_desc with
+      | Pstr_type (_, decls) ->
+          List.fold_left
+            (fun set d ->
+              match d.ptype_kind with
+              | Ptype_record labels ->
+                  List.fold_left
+                    (fun set l ->
+                      if l.pld_mutable = Mutable then SSet.add l.pld_name.txt set else set)
+                    set labels
+              | _ -> set)
+            set decls
+      | _ -> set)
+    inherited items
+
+let record_mutable_field mf e =
+  let rec go e =
+    match e.pexp_desc with
+    | Pexp_constraint (e, _) -> go e
+    | Pexp_record (fields, _) ->
+        List.find_map
+          (fun (lid, _) ->
+            match flatten_lid [] lid.Location.txt with
+            | Some parts -> (
+                match List.rev parts with
+                | last :: _ when SSet.mem last mf -> Some last
+                | _ -> None)
+            | None -> None)
+          fields
+    | _ -> None
+  in
+  go e
+
+let is_mutex_item item =
+  match item.pstr_desc with
+  | Pstr_value (_, vbs) -> List.exists (fun vb -> rhs_head vb.pvb_expr = Some "Mutex.create") vbs
+  | _ -> false
+
+let mutex_names_of_item item =
+  match item.pstr_desc with
+  | Pstr_value (_, vbs) ->
+      List.filter_map
+        (fun vb ->
+          if rhs_head vb.pvb_expr = Some "Mutex.create" then binding_name vb.pvb_pat else None)
+        vbs
+  | _ -> []
+
+let classify_rhs mf e =
+  match rhs_head e with
+  | Some head when List.mem head safe_makers -> None
+  | Some head when List.mem head mutable_makers -> Some head
+  | _ -> (
+      match record_mutable_field mf e with
+      | Some field -> Some (Printf.sprintf "record literal with mutable field %s" field)
+      | None -> None)
+
+let rec structure_rule add ~inherited items =
+  let mf = mutable_fields items inherited in
+  let arr = Array.of_list items in
+  let n = Array.length arr in
+  let mutex_at i = i >= 0 && i < n && is_mutex_item arr.(i) in
+  let all_mutex_names = Array.to_list arr |> List.concat_map mutex_names_of_item in
+  Array.iteri
+    (fun i item ->
+      match item.pstr_desc with
+      | Pstr_value (_, vbs) ->
+          List.iter
+            (fun vb ->
+              match binding_name vb.pvb_pat with
+              | None -> ()
+              | Some bname -> (
+                  let adjacent_mutex =
+                    mutex_at (i - 1) || mutex_at (i - 2) || mutex_at (i + 1) || mutex_at (i + 2)
+                  in
+                  let named_mutex =
+                    List.exists
+                      (fun m -> m = bname ^ "_mutex" || m = bname ^ "_lock")
+                      all_mutex_names
+                  in
+                  if not (adjacent_mutex || named_mutex) then
+                    match classify_rhs mf vb.pvb_expr with
+                    | Some what ->
+                        add Finding.R3 vb.pvb_pat.ppat_loc
+                          (Printf.sprintf
+                             "top-level mutable state %s (%s) is shared across domains; wrap it \
+                              in Atomic or Domain.DLS, or guard it with an adjacent Mutex"
+                             bname what)
+                    | None -> ()))
+            vbs
+      | Pstr_module { pmb_expr; _ } -> module_expr_rule add ~inherited:mf pmb_expr
+      | Pstr_recmodule mbs -> List.iter (fun mb -> module_expr_rule add ~inherited:mf mb.pmb_expr) mbs
+      | _ -> ())
+    arr
+
+and module_expr_rule add ~inherited me =
+  match me.pmod_desc with
+  | Pmod_structure items -> structure_rule add ~inherited items
+  | Pmod_constraint (me, _) | Pmod_functor (_, me) -> module_expr_rule add ~inherited me
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+
+let check ~path structure =
+  let acc = ref [] in
+  let add rule loc message = acc := Finding.make rule ~file:path loc message :: !acc in
+  let lib = in_lib path in
+  let iter = { Ast_iterator.default_iterator with expr = expr_rule ~lib add } in
+  iter.structure iter structure;
+  structure_rule add ~inherited:SSet.empty structure;
+  List.sort_uniq Finding.compare !acc

@@ -1,0 +1,19 @@
+(** The rule implementations: a single [Ast_iterator] pass for the
+    expression-level rules (R1, R2, R4, R5, R6) plus a structure-level
+    scan for R3.
+
+    Known blind spots, by design (a source-level analyzer with no
+    typing environment): module aliasing ([module R = Random]) and
+    shadowing dodge the ident rules; R3's mutable-record detection
+    only sees record types declared in the same file; R3 accepts a
+    [Mutex.create] binding within two structure items (or named
+    [<binding>_mutex] / [<binding>_lock]) as the guard. The waiver
+    file, not cleverness here, handles the legitimate exceptions. *)
+
+val in_lib : string -> bool
+(** Whether [path] lies under a [lib/] directory — gates R6. *)
+
+val check : path:string -> Parsetree.structure -> Finding.t list
+(** All findings for one parsed implementation, sorted by
+    {!Finding.compare}, deduplicated. Never raises on any parse-able
+    input. *)

@@ -15,11 +15,15 @@ let table_key : (string, cell) Hashtbl.t Domain.DLS.key =
       t)
 
 let on = Atomic.make false
-let clock = ref Unix.gettimeofday
+
+(* An Atomic, not a ref: tests swap in fake clocks while parallel
+   suites may still be timing, and a plain ref would be a data race
+   (and invisible to the worker domains' program order). *)
+let clock = Atomic.make Unix.gettimeofday
 
 let enabled () = Atomic.get on
 let set_enabled b = Atomic.set on b
-let set_clock f = clock := f
+let set_clock f = Atomic.set clock f
 
 let reset () = Mutex.protect all_tables_mutex (fun () -> List.iter Hashtbl.reset !all_tables)
 
@@ -41,8 +45,9 @@ let record name dt =
 let time ~name f =
   if not (Atomic.get on) then f ()
   else begin
-    let t0 = !clock () in
-    Fun.protect ~finally:(fun () -> record name (!clock () -. t0)) f
+    let now = Atomic.get clock in
+    let t0 = now () in
+    Fun.protect ~finally:(fun () -> record name (now () -. t0)) f
   end
 
 type stat = {

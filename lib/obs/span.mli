@@ -14,8 +14,9 @@
        else push_raw t x ]}
 
     The clock defaults to [Unix.gettimeofday] — the steadiest widely
-    available source without C stubs; {!set_clock} substitutes a fake
-    clock in tests. *)
+    available source without C stubs — and lives in an [Atomic.t] so
+    swapping it is safe even while other domains are timing;
+    {!set_clock} substitutes a fake clock in tests. *)
 
 val enabled : unit -> bool
 val set_enabled : bool -> unit
@@ -43,7 +44,9 @@ val reset : unit -> unit
     flag is unchanged). *)
 
 val set_clock : (unit -> float) -> unit
-(** Override the time source (seconds). Tests only. *)
+(** Override the time source (seconds), atomically — in-flight
+    {!time} calls finish on the clock they started with. Tests
+    only. *)
 
 val export : Registry.t -> unit
 (** Publish every span as [bgl_span_seconds_total{span="..."}],

@@ -29,11 +29,23 @@ let shapes_of_volume (d : Dims.t) v =
 (* Catalogue of every fitting shape, computed once per dimension. *)
 type catalogue = { volumes : int list; desc : Shape.t list; levels : (int * Shape.t array) list }
 
-let catalogues : (int * int * int, catalogue) Hashtbl.t = Hashtbl.create 8
+(* An immutable assoc list behind an Atomic rather than a Hashtbl:
+   every domain of a parallel sweep hits this cache on its placement
+   path, and unsynchronized Hashtbl mutation is a data race. The list
+   stays tiny (one entry per distinct torus dimension), reads are
+   lock-free, and a publication race at worst computes a catalogue
+   twice — the value is deterministic in the key, so either copy is
+   correct. *)
+let catalogues : ((int * int * int) * catalogue) list Atomic.t = Atomic.make []
+
+let rec publish key c =
+  let seen = Atomic.get catalogues in
+  if List.mem_assoc key seen then ()
+  else if not (Atomic.compare_and_set catalogues seen ((key, c) :: seen)) then publish key c
 
 let catalogue (d : Dims.t) =
   let key = (d.nx, d.ny, d.nz) in
-  match Hashtbl.find_opt catalogues key with
+  match List.assoc_opt key (Atomic.get catalogues) with
   | Some c -> c
   | None ->
       let all = ref [] in
@@ -60,7 +72,7 @@ let catalogue (d : Dims.t) =
           (List.rev volumes)
       in
       let c = { volumes; desc; levels } in
-      Hashtbl.replace catalogues key c;
+      publish key c;
       c
 
 let feasible_volumes d = (catalogue d).volumes

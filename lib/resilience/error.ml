@@ -12,7 +12,10 @@ let exit_code = function
   | Internal _ -> 70
   | Io _ -> 74
 
+exception Cli of t
+
 let usagef fmt = Printf.ksprintf (fun m -> Error (Usage m)) fmt
+let raise_usagef fmt = Printf.ksprintf (fun m -> raise (Cli (Usage m))) fmt
 
 let pp ppf = function
   | Usage m -> Format.fprintf ppf "usage: %s" m
@@ -26,6 +29,7 @@ let pp ppf = function
 let to_string t = Format.asprintf "%a" pp t
 
 let of_exn = function
+  | Cli e -> e
   | Failpoint.Injected { site; visit } ->
       Io { path = site; detail = Printf.sprintf "injected fault (visit %d)" visit }
   | Budget.Budget_exceeded { site; detail } ->

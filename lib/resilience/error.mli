@@ -22,8 +22,18 @@ type t =
       (** [quarantined] names the cells lost; partial output exists *)
   | Internal of string
 
+exception Cli of t
+(** Escape hatch for code too deep to thread a [result] through (flag
+    plumbing inside library setup helpers): {!run} catches it via
+    {!of_exn}, so raising [Cli e] behaves exactly like returning
+    [Error e]. *)
+
 val exit_code : t -> int
 val usagef : ('a, unit, string, ('b, t) result) format4 -> 'a
+
+val raise_usagef : ('a, unit, string, 'b) format4 -> 'a
+(** [usagef] as an exception ({!Cli}), for non-[result] contexts. *)
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
 

@@ -20,14 +20,14 @@ let pareto rng ~shape ~scale =
 
 let geometric rng ~p =
   if p <= 0. || p > 1. then invalid_arg "Dist.geometric: p must be in (0, 1]";
-  if p = 1. then 1
+  if p >= 1. then 1
   else
     let u = 1. -. Rng.unit_float rng in
     1 + int_of_float (Float.floor (log u /. log (1. -. p)))
 
 let poisson rng ~mean =
   if mean < 0. then invalid_arg "Dist.poisson: mean must be non-negative";
-  if mean = 0. then 0
+  if mean <= 0. then 0
   else if mean > 60. then
     (* Normal approximation with continuity correction. *)
     max 0 (int_of_float (Float.round (normal rng ~mean ~std:(sqrt mean))))
