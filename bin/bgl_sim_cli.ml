@@ -108,6 +108,11 @@ let progress =
   Arg.(value & opt (some int) None & info [ "progress" ] ~docv:"N"
          ~doc:"Print a heartbeat line to stderr every N simulation events.")
 
+let audit =
+  Arg.(value & flag & info [ "audit" ]
+         ~doc:"After the run, re-read the --trace-out file and machine-check the schedule \
+               (bgl-audit's checkers); report violations to stderr and exit 1 on any.")
+
 let quiet = Bgl_core.Cli_flags.quiet
 
 let fail =
@@ -133,11 +138,16 @@ let arm_failpoints specs =
     (Ok ()) specs
 
 let run profile swf failure_log n_jobs load failures algo seed no_backfill migration repair
-    checkpoint per_job timeline metrics_out trace_out progress quiet fail differential =
+    checkpoint per_job timeline metrics_out trace_out progress quiet fail differential audit =
   Bgl_resilience.Error.run ~prog:"bgl-sim" @@ fun () ->
   Bgl_core.Cli_flags.set_quiet quiet;
   let ( let* ) = Result.bind in
   let* () = arm_failpoints fail in
+  let* () =
+    if audit && trace_out = None then
+      Bgl_resilience.Error.usagef "--audit needs --trace-out (it re-reads the trace file)"
+    else Ok ()
+  in
   Bgl_partition.Finder.set_differential differential;
   let obs = Bgl_core.Obs_cli.setup ?metrics_out ?trace_out ?progress () in
   let recorder = if timeline then Some (Bgl_sim.Recorder.create ()) else None in
@@ -229,7 +239,9 @@ let run profile swf failure_log n_jobs load failures algo seed no_backfill migra
                         ~predictor:(Bgl_predict.History.ewma ~half_life ~threshold index)
                         ()
                 in
-                Ok (Bgl_sim.Engine.run ~config ?recorder ~policy ~log ~failures:failure_trace ())))
+                Ok
+                  (Bgl_sim.Engine.run ~config ?recorder ~policy ~log ~failures:failure_trace ~seed
+                     ())))
   in
   match outcome with
   | Error e ->
@@ -257,7 +269,14 @@ let run profile swf failure_log n_jobs load failures algo seed no_backfill migra
                 j.spec.id j.spec.size (Bgl_sim.Job.wait_time j) (Bgl_sim.Job.response_time j)
                 (Bgl_sim.Job.bounded_slowdown j) j.restarts)
           outcome.jobs;
-      Ok 0
+      (* Self-check: the channel is closed and flushed by Obs_cli.finish
+         above, so the trace on disk is complete. *)
+      match (audit, trace_out) with
+      | true, Some path ->
+          let* cert = Bgl_audit.Driver.audit_files [ path ] in
+          Format.eprintf "%a@?" Bgl_audit.Driver.pp cert;
+          Ok (if Bgl_audit.Driver.pass cert then 0 else 1)
+      | _ -> Ok 0
 
 (* ------------------------------------------------------------------ *)
 (* bench: one full simulation with span timing on, then the profile *)
@@ -285,7 +304,7 @@ let run_term =
   Term.(
     const run $ profile $ swf $ failure_log $ n_jobs $ load $ failures $ algo $ seed
     $ no_backfill $ migration $ repair $ checkpoint $ per_job $ timeline $ metrics_out
-    $ trace_out $ progress $ quiet $ fail $ differential)
+    $ trace_out $ progress $ quiet $ fail $ differential $ audit)
 
 let bench_cmd =
   let doc = "profile one simulation: run with span timers on, print the timing table" in

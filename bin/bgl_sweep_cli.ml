@@ -43,8 +43,14 @@ let metrics_out =
 
 let trace_out =
   Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE"
-         ~doc:"Stream all runs' lifecycle events to FILE as JSONL; runs are framed by \
-               run_begin/run_end lines.")
+         ~doc:"Stream all runs' lifecycle events to FILE as JSONL; every run is framed by a \
+               run_meta header and a run_summary trailer, and every line is tagged with its \
+               run id so parallel sweeps demultiplex.")
+
+let audit =
+  Arg.(value & flag & info [ "audit" ]
+         ~doc:"After the sweep, re-read the --trace-out file and machine-check every run \
+               section (bgl-audit's checkers); report violations to stderr and exit 1 on any.")
 
 let progress =
   Arg.(value & opt (some int) None & info [ "progress" ] ~docv:"N"
@@ -101,10 +107,15 @@ let arm_failpoints specs =
     (Ok ()) specs
 
 let run ids full n_jobs jobs seeds out chart metrics_out trace_out progress journal resume fail
-    retries cell_fuel cell_deadline differential =
+    retries cell_fuel cell_deadline differential audit =
   Bgl_resilience.Error.run ~prog:"bgl-sweep" @@ fun () ->
   Bgl_partition.Finder.set_differential differential;
   let open Bgl_resilience in
+  let* () =
+    if audit && trace_out = None then
+      Error.usagef "--audit needs --trace-out (it re-reads the trace file)"
+    else Ok ()
+  in
   (* -- validation: every bad flag is a structured Usage error (exit 2) -- *)
   let* domains =
     if jobs < 0 then Error.usagef "--jobs must be >= 0, got %d" jobs
@@ -214,15 +225,26 @@ let run ids full n_jobs jobs seeds out chart metrics_out trace_out progress jour
        else "");
   if Supervise.degraded outcome.degradation then
     Format.eprintf "bgl-sweep: %a@." Supervise.pp_degradation outcome.degradation;
+  (* Self-check after Obs_cli.finish closed the trace channel; a
+     degradation error still takes precedence over the audit verdict. *)
+  let* audit_exit =
+    match (audit, trace_out) with
+    | true, Some path ->
+        let* cert = Bgl_audit.Driver.audit_files [ path ] in
+        Format.eprintf "%a@?" Bgl_audit.Driver.pp cert;
+        Ok (if Bgl_audit.Driver.pass cert then 0 else 1)
+    | _ -> Ok 0
+  in
   match Bgl_core.Sweep.degraded_error outcome with
   | Some e -> Result.error e
-  | None -> Ok 0
+  | None -> Ok audit_exit
 
 let cmd =
   let doc = "regenerate the paper's evaluation figures and ablations" in
   Cmd.v (Cmd.info "bgl-sweep" ~doc)
     Term.(
       const run $ ids $ full $ n_jobs $ jobs $ seeds $ out $ chart $ metrics_out $ trace_out
-      $ progress $ journal $ resume $ fail $ retries $ cell_fuel $ cell_deadline $ differential)
+      $ progress $ journal $ resume $ fail $ retries $ cell_fuel $ cell_deadline $ differential
+      $ audit)
 
 let () = exit (Cmd.eval' cmd)

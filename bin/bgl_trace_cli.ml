@@ -115,6 +115,49 @@ let inspect path kind =
         Ok ()
     | Error e -> Error e
   in
+  let as_run_trace () =
+    match Bgl_audit.Trace.load_files [ path ] with
+    | Error e -> Error e
+    | Ok t when t.sections = [] ->
+        Error (Bgl_resilience.Error.Parse { name = path; detail = "no run sections (not a run trace)" })
+    | Ok t ->
+        let complete = List.filter Bgl_audit.Trace.complete t.sections in
+        Format.printf "run trace: %d lines, %d section(s) (%d complete)@." t.lines_total
+          (List.length t.sections) (List.length complete);
+        List.iter
+          (fun (s : Bgl_audit.Trace.section) ->
+            let span =
+              match s.summary with
+              | Some (_, t_end) -> t_end -. s.meta_time
+              | None -> (
+                  match List.rev s.events with
+                  | last :: _ -> last.time -. s.meta_time
+                  | [] -> 0.)
+            in
+            Format.printf "section %s: schema %d, policy %s, %d jobs, %.0f s%s@."
+              (Option.value ~default:"(untagged)" s.run)
+              s.meta.schema s.meta.policy s.meta.jobs span
+              (if Bgl_audit.Trace.complete s then "" else " [truncated]");
+            let counts = Hashtbl.create 8 in
+            List.iter
+              (fun (it : Bgl_audit.Trace.item) ->
+                let k = Bgl_audit.Trace.ev_name it.event in
+                Hashtbl.replace counts k (1 + Option.value ~default:0 (Hashtbl.find_opt counts k)))
+              s.events;
+            Hashtbl.fold (fun k v acc -> (k, v) :: acc) counts []
+            |> List.sort compare
+            |> List.iter (fun (k, v) -> Format.printf "  %-12s %d@." k v))
+          t.sections;
+        Ok ()
+  in
+  (* A run trace is JSONL: the first line opens with '{', which no SWF
+     or failure log does. *)
+  let looks_jsonl () =
+    match In_channel.with_open_text path In_channel.input_line with
+    | Some l -> ( match String.trim l with "" -> false | t -> t.[0] = '{')
+    | None -> false
+    | exception Sys_error _ -> false
+  in
   let parsed result =
     Result.map_error (fun msg -> Bgl_resilience.Error.Parse { name = path; detail = msg }) result
   in
@@ -122,16 +165,23 @@ let inspect path kind =
     match kind with
     | "jobs" -> parsed (as_jobs ())
     | "failures" -> parsed (as_failures ())
-    | "auto" -> (
-        match as_jobs () with Ok () -> Ok () | Error _ -> parsed (as_failures ()))
-    | other -> Bgl_resilience.Error.usagef "unknown kind %S (jobs, failures, auto)" other
+    | "trace" -> as_run_trace ()
+    | "auto" ->
+        if looks_jsonl () then as_run_trace ()
+        else ( match as_jobs () with Ok () -> Ok () | Error _ -> parsed (as_failures ()))
+    | other -> Bgl_resilience.Error.usagef "unknown kind %S (jobs, failures, trace, auto)" other
   in
   Result.map (fun () -> 0) result
 
 let inspect_cmd =
   let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
-  let kind = Arg.(value & opt string "auto" & info [ "kind" ] ~docv:"KIND") in
-  Cmd.v (Cmd.info "inspect" ~doc:"summarise a job or failure log") Term.(const inspect $ path $ kind)
+  let kind =
+    Arg.(value & opt string "auto" & info [ "kind" ] ~docv:"KIND"
+           ~doc:"What FILE is: jobs, failures, trace (a --trace-out run trace), or auto.")
+  in
+  Cmd.v
+    (Cmd.info "inspect" ~doc:"summarise a job log, failure log or run trace")
+    Term.(const inspect $ path $ kind)
 
 let () =
   let doc = "generate and inspect workload and failure traces" in

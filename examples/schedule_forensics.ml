@@ -22,6 +22,9 @@ let () =
       ()
   in
   let outcome = Bgl_sim.Engine.run ~recorder ~policy ~log ~failures () in
+  (* The replay accessors below (entries/kills_of/busiest_victim) only
+     work on a buffered recorder; streaming ones raise. *)
+  assert (Bgl_sim.Recorder.is_buffered recorder);
   Format.printf "%a@.@." Bgl_sim.Metrics.pp_report outcome.report;
 
   (* 1. The raw execution trace (first few entries). *)

@@ -1,0 +1,42 @@
+(** Schedule checkers: independent re-verification of one run.
+
+    Each checker replays a {!Trace.section} against its declared torus
+    and compares what the trace claims with what a correct scheduler
+    could have done. The catalogue (rules {!Finding.rule}):
+
+    - A2 — schema version supported; stitched sections agree.
+    - A3 — timestamps never regress within a section.
+    - A4 — every box is in bounds, wrap-canonical, and large enough
+      for its job.
+    - A5 — sweep-line occupancy: partitions never overlap, down nodes
+      are never handed out, kills come from nodes inside the victim's
+      partition, failure victims match the preceding kill.
+    - A6 — lifecycle legality: arrive → queued → running →
+      {finish, kill → queued, migrate}; restart flags truthful; no
+      events after finish; no duplicate arrivals.
+    - A7 — conservation: arrivals, finishes, kills, migrations,
+      failures and restarts all agree with the run summary's counts.
+    - A8 — metrics: utilization, unused capacity, busy fraction, lost
+      node-seconds, makespan, mean wait/response and the ω-identity
+      recomputed from the events match the summary within a relative
+      float tolerance. *)
+
+val tol : float
+(** Relative tolerance used by the metric cross-checks (1e-6). *)
+
+val close_enough : ?slack:float -> float -> float -> bool
+(** [close_enough ?slack a b]: equal within [slack] (an absolute
+    allowance, default 0 — used for timestamp-quantization error) plus
+    the relative tolerance {!tol}. *)
+
+val section : Trace.section -> Finding.t list * int
+(** Audit one section; returns findings and the number of checks run.
+    A truncated section (no summary) gets the streaming checks
+    (A2–A6) only. *)
+
+val stitch : Trace.section list -> Finding.t list * int
+(** Cross-section checks over the whole stitched stream: sections
+    sharing a run id must agree — truncated attempts must be exact
+    event prefixes of a complete resume, duplicate complete runs must
+    replay identically, and a cross-file resume must declare its
+    parent journal. *)

@@ -4,6 +4,15 @@ type t = {
   trace_channel : out_channel option;
 }
 
+(* The trailer marker never occurs elsewhere: event names are fixed
+   and no trace field embeds the quoted ["ev":] fragment. *)
+let contains_summary line =
+  let needle = {|"ev":"run_summary"|} in
+  let n = String.length needle and h = String.length line in
+  let rec hit i j = j = n || (line.[i + j] = needle.[j] && hit i (j + 1)) in
+  let rec go i = i + n <= h && (hit i 0 || go (i + 1)) in
+  go 0
+
 let setup ?metrics_out ?trace_out ?progress () =
   Option.iter
     (fun every ->
@@ -25,8 +34,17 @@ let setup ?metrics_out ?trace_out ?progress () =
         let oc = Cli_flags.open_out_or_fail path in
         (* One [output_string] per line: OCaml 5 channels lock per
            operation, so whole lines stay atomic even when worker
-           domains trace into the same channel. *)
-        Bgl_obs.Runtime.set_trace_writer (Some (fun line -> output_string oc (line ^ "\n")));
+           domains trace into the same channel. Flushing on the
+           section trailer keeps trace durability ahead of journal
+           durability: the sweep journals a cell as complete right
+           after its run_summary is emitted, and a kill between a
+           buffered trailer and the journal append would otherwise
+           orphan a truncated section no resume ever replays. *)
+        Bgl_obs.Runtime.set_trace_writer
+          (Some
+             (fun line ->
+               output_string oc (line ^ "\n");
+               if contains_summary line then flush oc));
         oc)
       trace_out
   in

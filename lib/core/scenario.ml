@@ -132,4 +132,9 @@ let run t =
         in
         Bgl_sched.Placement.tie_breaking ~predictor ()
   in
-  Bgl_sim.Engine.run ~config:t.config ~policy ~log ~failures ()
+  (* The trace run id is the scenario-label digest — the same key the
+     sweep journal files cells under, so trace sections and journal
+     records cross-reference directly. *)
+  Bgl_sim.Engine.run ~config:t.config ~policy ~log ~failures
+    ~run_id:(Digest.to_hex (Digest.string (label t)))
+    ~seed:t.seed ()

@@ -45,6 +45,11 @@ let restore entries cells =
   (remaining, !bad)
 
 let run ?(policy = Supervise.default) ?(journal = No_journal) ~domains f scale =
+  (* Resumed runs advertise the journal they continue in every trace
+     header, so an auditor can tie the stitched halves together. *)
+  (match journal with
+  | Resume path -> Bgl_obs.Runtime.set_trace_parent (Some (Digest.to_hex (Digest.string path)))
+  | No_journal | Fresh _ -> ());
   let cells = Figures.cells_of f scale in
   let restored =
     match journal with

@@ -45,7 +45,9 @@ let segments recorder =
           close m.job m.time Migrated;
           Hashtbl.replace open_tenancies m.job (m.time, m.to_box)
       | Node_failed n -> last_time := Float.max !last_time n.time
-      | Node_repaired n -> last_time := Float.max !last_time n.time);
+      | Node_repaired n -> last_time := Float.max !last_time n.time
+      (* Framing and arrival entries carry no tenancy. *)
+      | Run_meta _ | Job_arrived _ | Run_summary _ -> ());
       ())
     (entries recorder);
   Hashtbl.iter

@@ -2,9 +2,10 @@ type snapshot = {
   registry : Registry.t;
   heartbeat : Heartbeat.t option;
   trace : (string -> unit) option;
+  trace_parent : string option;
 }
 
-let inert = { registry = Registry.noop; heartbeat = None; trace = None }
+let inert = { registry = Registry.noop; heartbeat = None; trace = None; trace_parent = None }
 
 (* Domain-local: each domain sees its own configuration, so a worker
    can never race the main domain's [set_*] calls. Workers of a
@@ -16,10 +17,12 @@ type state = {
   mutable registry_v : Registry.t;
   mutable heartbeat_v : Heartbeat.t option;
   mutable trace_v : (string -> unit) option;
+  mutable trace_parent_v : string option;
 }
 
 let key : state Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> { registry_v = Registry.noop; heartbeat_v = None; trace_v = None })
+  Domain.DLS.new_key (fun () ->
+      { registry_v = Registry.noop; heartbeat_v = None; trace_v = None; trace_parent_v = None })
 
 let registry () = (Domain.DLS.get key).registry_v
 let set_registry r = (Domain.DLS.get key).registry_v <- r
@@ -27,15 +30,23 @@ let heartbeat () = (Domain.DLS.get key).heartbeat_v
 let set_heartbeat h = (Domain.DLS.get key).heartbeat_v <- h
 let trace_writer () = (Domain.DLS.get key).trace_v
 let set_trace_writer w = (Domain.DLS.get key).trace_v <- w
+let trace_parent () = (Domain.DLS.get key).trace_parent_v
+let set_trace_parent p = (Domain.DLS.get key).trace_parent_v <- p
 
 let snapshot () =
   let s = Domain.DLS.get key in
-  { registry = s.registry_v; heartbeat = s.heartbeat_v; trace = s.trace_v }
+  {
+    registry = s.registry_v;
+    heartbeat = s.heartbeat_v;
+    trace = s.trace_v;
+    trace_parent = s.trace_parent_v;
+  }
 
-let install { registry; heartbeat; trace } =
+let install { registry; heartbeat; trace; trace_parent } =
   let s = Domain.DLS.get key in
   s.registry_v <- registry;
   s.heartbeat_v <- heartbeat;
-  s.trace_v <- trace
+  s.trace_v <- trace;
+  s.trace_parent_v <- trace_parent
 
 let reset () = install inert

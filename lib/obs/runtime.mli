@@ -29,6 +29,14 @@ val trace_writer : unit -> (string -> unit) option
 
 val set_trace_writer : (string -> unit) option -> unit
 
+val trace_parent : unit -> string option
+(** Provenance for resumed runs: the fingerprint of the journal the
+    current sweep is resuming from, if any. The engine copies it into
+    the [run_meta] trace header so an auditor can tie the stitched
+    halves of a kill-then-resume trace together. *)
+
+val set_trace_parent : string option -> unit
+
 type snapshot
 (** The current domain's full configuration, as one value. *)
 

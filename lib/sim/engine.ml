@@ -423,6 +423,10 @@ let handle st = function
   | Arrival idx ->
       Bgl_obs.Registry.inc st.obs.ev_arrival;
       st.arrivals_pending <- st.arrivals_pending - 1;
+      let spec = st.jobs.(idx).spec in
+      record st
+        (Recorder.Job_arrived
+           { job = spec.id; time = st.now; size = spec.size; run_time = spec.run_time });
       queue_insert st idx
   | Finish (idx, gen) -> (
       Bgl_obs.Registry.inc st.obs.ev_finish;
@@ -463,7 +467,8 @@ let handle st = function
 (* Driver *)
 
 let run ?(config = Config.default) ?(predictor = Bgl_predict.Predictor.null) ?recorder ?budget
-    ~policy ~(log : Bgl_trace.Job_log.t) ~(failures : Bgl_trace.Failure_log.t) () =
+    ?run_id ?seed ~(policy : Policy.t) ~(log : Bgl_trace.Job_log.t)
+    ~(failures : Bgl_trace.Failure_log.t) () =
   Bgl_resilience.Budget.with_budget budget @@ fun () ->
   Config.validate config;
   (match Bgl_trace.Failure_log.validate_nodes failures ~volume:(Dims.volume config.dims) with
@@ -486,12 +491,23 @@ let run ?(config = Config.default) ?(predictor = Bgl_predict.Predictor.null) ?re
                       spec.size))
     |> Array.of_list
   in
-  let trace_writer = Bgl_obs.Runtime.trace_writer () in
+  (* Every streamed trace line is tagged with this id, so concurrent
+     runs multiplexed into one writer (a parallel sweep) demux cleanly
+     line by line. *)
+  let rid =
+    match run_id with
+    | Some id -> id
+    | None ->
+        Digest.to_hex
+          (Digest.string
+             (Printf.sprintf "%s|%s|%s|%d" log.name failures.name policy.name (Array.length jobs)))
+  in
   let trace =
     Option.map
       (fun w ->
-        Recorder.create ~sink:(Bgl_obs.Sink.jsonl_writer ~to_json:Recorder.entry_to_json w) ())
-      trace_writer
+        Recorder.create
+          ~sink:(Bgl_obs.Sink.jsonl_writer ~to_json:(Recorder.entry_to_json ~run:rid) w) ())
+      (Bgl_obs.Runtime.trace_writer ())
   in
   let grid = Grid.create ~wrap:config.wrap config.dims in
   let st =
@@ -516,20 +532,24 @@ let run ?(config = Config.default) ?(predictor = Bgl_predict.Predictor.null) ?re
       cache = Bgl_partition.Finder.Cache.create grid;
     }
   in
-  (* Frame each run in the trace so multi-run sweeps stay parseable as
-     one stream. *)
-  let run_marker kind fields =
-    Option.iter
-      (fun w -> w (Bgl_obs.Jsonl.obj (("ev", Bgl_obs.Jsonl.string kind) :: fields)))
-      trace_writer
-  in
-  run_marker "run_begin"
-    [
-      ("log", Bgl_obs.Jsonl.string log.name);
-      ("failures", Bgl_obs.Jsonl.string failures.name);
-      ("policy", Bgl_obs.Jsonl.string policy.name);
-      ("jobs", Bgl_obs.Jsonl.int (Array.length jobs));
-    ];
+  (* Frame the run: a run_meta header carrying everything the auditor
+     needs (torus, policy, provenance), a run_summary trailer with the
+     engine's own totals for it to cross-check. *)
+  record st
+    (Recorder.Run_meta
+       {
+         time = st.now;
+         log = log.name;
+         failures = failures.name;
+         policy = policy.name;
+         dims = config.dims;
+         wrap = config.wrap;
+         jobs = Array.length jobs;
+         seed;
+         parent = Bgl_obs.Runtime.trace_parent ();
+         repair_time = config.repair_time;
+         checkpointed = Option.is_some config.checkpoint;
+       });
   Array.iteri (fun idx (j : Job.t) -> Event_queue.push st.events ~time:j.spec.arrival (Arrival idx)) jobs;
   Array.iter
     (fun (e : Bgl_trace.Failure_log.event) -> Event_queue.push st.events ~time:e.time (Failure e.node))
@@ -580,11 +600,7 @@ let run ?(config = Config.default) ?(predictor = Bgl_predict.Predictor.null) ?re
   loop ();
   let completed = Array.to_list jobs |> List.filter Job.is_completed in
   let report = Metrics.report st.metrics ~jobs:completed ~total_jobs:(Array.length jobs) in
-  run_marker "run_end"
-    [
-      ("completed", Bgl_obs.Jsonl.int report.Metrics.completed_jobs);
-      ("makespan", Bgl_obs.Jsonl.float report.Metrics.makespan);
-    ];
+  record st (Recorder.Run_summary { time = st.now; report });
   Option.iter Recorder.flush trace;
   {
     name = Printf.sprintf "%s vs %s under %s" log.name failures.name policy.name;

@@ -29,6 +29,8 @@ val run :
   ?predictor:Bgl_predict.Predictor.t ->
   ?recorder:Recorder.t ->
   ?budget:Bgl_resilience.Budget.t ->
+  ?run_id:string ->
+  ?seed:int ->
   policy:Policy.t ->
   log:Bgl_trace.Job_log.t ->
   failures:Bgl_trace.Failure_log.t ->
@@ -39,6 +41,12 @@ val run :
     adaptive checkpointing risk decisions; placement policies carry
     their own predictor. A [recorder] receives every lifecycle
     transition for post-hoc analysis.
+
+    [run_id] tags every streamed trace line with a ["run"] member so
+    concurrent runs sharing one trace writer (a parallel sweep) can be
+    demultiplexed; it defaults to a digest of the run's inputs. [seed]
+    is provenance only, copied verbatim into the trace's [run_meta]
+    header (sweep scenarios pass their generator seed).
 
     [budget] installs a cooperative fuel/deadline budget for the run
     (see {!Bgl_resilience.Budget}): the event loop burns one fuel unit

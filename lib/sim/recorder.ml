@@ -1,12 +1,33 @@
 open Bgl_torus
 
+(* Bump whenever the JSONL trace shape changes incompatibly; the
+   auditor refuses schemas newer than it understands. Version 1 was
+   the ad-hoc run_begin/run_end framing (PR 4); version 2 frames runs
+   with run_meta/run_summary and records arrivals. *)
+let schema_version = 2
+
 type entry =
+  | Run_meta of {
+      time : float;
+      log : string;
+      failures : string;
+      policy : string;
+      dims : Dims.t;
+      wrap : bool;
+      jobs : int;
+      seed : int option;
+      parent : string option;
+      repair_time : float;
+      checkpointed : bool;
+    }
+  | Job_arrived of { job : int; time : float; size : int; run_time : float }
   | Job_started of { job : int; time : float; box : Box.t; restart : bool }
   | Job_killed of { job : int; time : float; node : int; lost_node_seconds : float }
   | Job_finished of { job : int; time : float }
   | Job_migrated of { job : int; time : float; from_box : Box.t; to_box : Box.t }
   | Node_failed of { time : float; node : int; victim : int option }
   | Node_repaired of { time : float; node : int }
+  | Run_summary of { time : float; report : Metrics.report }
 
 type t = { sink : entry Bgl_obs.Sink.t }
 
@@ -17,27 +38,46 @@ let jsonl_of_box (b : Box.t) =
   Printf.sprintf "{\"x\":%d,\"y\":%d,\"z\":%d,\"sx\":%d,\"sy\":%d,\"sz\":%d}" b.base.x b.base.y
     b.base.z b.shape.sx b.shape.sy b.shape.sz
 
-let entry_to_json entry =
+let entry_to_json ?run entry =
   let open Bgl_obs.Jsonl in
+  let tagged fields =
+    match run with None -> obj fields | Some id -> obj (("run", string id) :: fields)
+  in
   match entry with
+  | Run_meta m ->
+      tagged
+        [ ("ev", string "run_meta"); ("t", float m.time); ("schema", int schema_version);
+          ("log", string m.log); ("failures", string m.failures); ("policy", string m.policy);
+          ("dims", string (Dims.to_string m.dims)); ("wrap", bool m.wrap); ("jobs", int m.jobs);
+          ("seed", match m.seed with Some s -> int s | None -> "null");
+          ("parent", match m.parent with Some p -> string p | None -> "null");
+          ("repair_time", float m.repair_time); ("checkpointed", bool m.checkpointed) ]
+  | Job_arrived a ->
+      tagged
+        [ ("ev", string "job_arrive"); ("t", float a.time); ("job", int a.job);
+          ("size", int a.size); ("work", float a.run_time) ]
   | Job_started s ->
-      obj
+      tagged
         [ ("ev", string "job_start"); ("t", float s.time); ("job", int s.job);
           ("box", jsonl_of_box s.box); ("restart", bool s.restart) ]
   | Job_killed k ->
-      obj
+      tagged
         [ ("ev", string "job_kill"); ("t", float k.time); ("job", int k.job);
           ("node", int k.node); ("lost_node_s", float k.lost_node_seconds) ]
-  | Job_finished f -> obj [ ("ev", string "job_finish"); ("t", float f.time); ("job", int f.job) ]
+  | Job_finished f -> tagged [ ("ev", string "job_finish"); ("t", float f.time); ("job", int f.job) ]
   | Job_migrated m ->
-      obj
+      tagged
         [ ("ev", string "job_migrate"); ("t", float m.time); ("job", int m.job);
           ("from", jsonl_of_box m.from_box); ("to", jsonl_of_box m.to_box) ]
   | Node_failed n ->
-      obj
+      tagged
         [ ("ev", string "node_fail"); ("t", float n.time); ("node", int n.node);
           ("victim", match n.victim with Some j -> int j | None -> "null") ]
-  | Node_repaired n -> obj [ ("ev", string "node_repair"); ("t", float n.time); ("node", int n.node) ]
+  | Node_repaired n -> tagged [ ("ev", string "node_repair"); ("t", float n.time); ("node", int n.node) ]
+  | Run_summary s ->
+      tagged
+        [ ("ev", string "run_summary"); ("t", float s.time);
+          ("report", Metrics.report_to_json s.report) ]
 
 let jsonl channel = create ~sink:(Bgl_obs.Sink.jsonl_channel ~to_json:entry_to_json channel) ()
 
@@ -47,31 +87,33 @@ let length t = Bgl_obs.Sink.count t.sink
 let is_buffered t = Bgl_obs.Sink.is_buffered t.sink
 let flush t = Bgl_obs.Sink.flush t.sink
 
+(* The replay accessors only see the full run on a buffered sink;
+   answering [] for a streaming recorder would silently report "no
+   kills" for a run full of them. *)
+let require_buffered t ~fn =
+  if not (is_buffered t) then
+    invalid_arg (Printf.sprintf "Recorder.%s: streaming recorder retains no entries" fn)
+
 let starts_of t ~job =
+  require_buffered t ~fn:"starts_of";
   List.filter_map
-    (function
-      | Job_started s when s.job = job -> Some (s.time, s.box)
-      | Job_started _ | Job_killed _ | Job_finished _ | Job_migrated _ | Node_failed _
-      | Node_repaired _ ->
-          None)
+    (function Job_started s when s.job = job -> Some (s.time, s.box) | _ -> None)
     (entries t)
 
 let kills_of t ~job =
+  require_buffered t ~fn:"kills_of";
   List.filter_map
-    (function
-      | Job_killed k when k.job = job -> Some (k.time, k.node)
-      | Job_started _ | Job_killed _ | Job_finished _ | Job_migrated _ | Node_failed _
-      | Node_repaired _ ->
-          None)
+    (function Job_killed k when k.job = job -> Some (k.time, k.node) | _ -> None)
     (entries t)
 
 let busiest_victim t =
+  require_buffered t ~fn:"busiest_victim";
   let counts = Hashtbl.create 16 in
   List.iter
     (function
       | Job_killed k ->
           Hashtbl.replace counts k.job (1 + Option.value ~default:0 (Hashtbl.find_opt counts k.job))
-      | Job_started _ | Job_finished _ | Job_migrated _ | Node_failed _ | Node_repaired _ -> ())
+      | _ -> ())
     (entries t);
   Hashtbl.fold
     (fun job kills best ->
@@ -81,6 +123,11 @@ let busiest_victim t =
     counts None
 
 let pp_entry ppf = function
+  | Run_meta m ->
+      Format.fprintf ppf "%10.1f  meta    %s vs %s under %s on %s (%d jobs)" m.time m.log
+        m.failures m.policy (Dims.to_string m.dims) m.jobs
+  | Job_arrived a ->
+      Format.fprintf ppf "%10.1f  arrive  job %d (%d nodes, %.3g s)" a.time a.job a.size a.run_time
   | Job_started s ->
       Format.fprintf ppf "%10.1f  start   job %d on %a%s" s.time s.job Box.pp s.box
         (if s.restart then " (restart)" else "")
@@ -95,3 +142,6 @@ let pp_entry ppf = function
       Format.fprintf ppf "%10.1f  failure node %d%s" n.time n.node
         (match n.victim with Some j -> Format.asprintf " kills job %d" j | None -> " (idle)")
   | Node_repaired n -> Format.fprintf ppf "%10.1f  repair  node %d" n.time n.node
+  | Run_summary s ->
+      Format.fprintf ppf "%10.1f  summary %d/%d jobs completed" s.time s.report.completed_jobs
+        s.report.total_jobs

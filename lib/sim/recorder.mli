@@ -4,12 +4,41 @@
     transition and failure injection. Downstream tooling replays the
     entries to analyse schedules (Gantt-style reconstruction, kill
     forensics, predictor post-mortems) without touching engine
-    internals; `examples/schedule_forensics.ml` and the predictor
-    evaluation tests are the in-repo consumers. *)
+    internals; `examples/schedule_forensics.ml`, the predictor
+    evaluation tests and the {!Bgl_audit} certificate checker are the
+    in-repo consumers.
+
+    Trace framing (schema version {!schema_version}): the engine
+    brackets every run with a leading {!entry.Run_meta} (declaring the
+    torus, policy and provenance) and a trailing {!entry.Run_summary}
+    (its own metric totals), and announces every job submission as
+    {!entry.Job_arrived} — together enough for an external auditor to
+    re-verify the schedule with no access to engine state. *)
 
 open Bgl_torus
 
+val schema_version : int
+(** Version stamp carried by every [run_meta] line. Bumped on any
+    incompatible change to the JSONL shape; currently 2. *)
+
 type entry =
+  | Run_meta of {
+      time : float;
+      log : string;
+      failures : string;
+      policy : string;
+      dims : Dims.t;
+      wrap : bool;
+      jobs : int;
+      seed : int option;  (** scenario seed, when the caller knows it *)
+      parent : string option;
+          (** fingerprint of the journal this run resumes from, if any *)
+      repair_time : float;
+      checkpointed : bool;  (** whether a checkpointing spec was active *)
+    }  (** First entry of every run: everything the auditor needs up front. *)
+  | Job_arrived of { job : int; time : float; size : int; run_time : float }
+      (** [run_time] is the job's true work requirement (node-seconds
+          per node), not its user estimate. *)
   | Job_started of { job : int; time : float; box : Box.t; restart : bool }
       (** [job] is the job id from the log (not the engine index). *)
   | Job_killed of { job : int; time : float; node : int; lost_node_seconds : float }
@@ -19,6 +48,9 @@ type entry =
   | Node_failed of { time : float; node : int; victim : int option }
       (** [victim] is the id of the job killed by this event, if any. *)
   | Node_repaired of { time : float; node : int }
+  | Run_summary of { time : float; report : Metrics.report }
+      (** Last entry of every run: the engine's own totals, which an
+          auditor cross-checks against its independent recomputation. *)
 
 type t
 
@@ -32,9 +64,12 @@ val jsonl : out_channel -> t
 (** A recorder streaming one JSON line per entry to the channel (the
     schema is {!entry_to_json}'s). The caller owns the channel. *)
 
-val entry_to_json : entry -> string
-(** One compact JSON object, no trailing newline. See the
-    "Observability" section of README.md for the schema. *)
+val entry_to_json : ?run:string -> entry -> string
+(** One compact JSON object, no trailing newline. When [run] is given,
+    a leading ["run"] member tags the line with that run id, so the
+    interleaved stream of a parallel sweep can be demultiplexed line
+    by line. See the "Observability" section of README.md for the
+    schema. *)
 
 val record : t -> entry -> unit
 (** Append an entry (engine-facing). *)
@@ -53,13 +88,16 @@ val flush : t -> unit
 (** Flush a streaming recorder's underlying channel. *)
 
 val starts_of : t -> job:int -> (float * Box.t) list
-(** Every (re)start of a job, in time order (buffered sinks only). *)
+(** Every (re)start of a job, in time order.
+    @raise Invalid_argument on a streaming recorder, which retains no
+    entries to answer from. *)
 
 val kills_of : t -> job:int -> (float * int) list
-(** Every kill of a job as [(time, node)] (buffered sinks only). *)
+(** Every kill of a job as [(time, node)].
+    @raise Invalid_argument on a streaming recorder. *)
 
 val busiest_victim : t -> (int * int) option
-(** The job killed most often, as [(job, kills)] (buffered sinks
-    only). *)
+(** The job killed most often, as [(job, kills)].
+    @raise Invalid_argument on a streaming recorder. *)
 
 val pp_entry : Format.formatter -> entry -> unit

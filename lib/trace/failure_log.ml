@@ -69,7 +69,9 @@ let of_string ~name text =
 let to_string t =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf (Printf.sprintf "# failure log %s (%d events)\n" t.name (length t));
-  Array.iter (fun e -> Buffer.add_string buf (Printf.sprintf "%.3f %d\n" e.time e.node)) t.events;
+  (* %.17g round-trips every finite float exactly; %.3f silently merged
+     events closer than a millisecond on save/load. *)
+  Array.iter (fun e -> Buffer.add_string buf (Printf.sprintf "%.17g %d\n" e.time e.node)) t.events;
   Buffer.contents buf
 
 let load path =

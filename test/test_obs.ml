@@ -187,6 +187,16 @@ let test_recorder_trace_schema () =
   let open Bgl_sim.Recorder in
   let cases =
     [
+      ( Run_meta
+          {
+            time = 0.; log = "l"; failures = "f"; policy = "p";
+            dims = Bgl_torus.Dims.make 4 4 8; wrap = true; jobs = 3; seed = Some 42;
+            parent = None; repair_time = 0.; checkpointed = false;
+          },
+        {|{"ev":"run_meta","t":0.0,"schema":2,"log":"l","failures":"f","policy":"p","dims":"4x4x8","wrap":true,"jobs":3,"seed":42,"parent":null,"repair_time":0.0,"checkpointed":false}|}
+      );
+      ( Job_arrived { job = 5; time = 10.; size = 32; run_time = 600. },
+        {|{"ev":"job_arrive","t":10.0,"job":5,"size":32,"work":600.0}|} );
       ( Job_started { job = 5; time = 10.; box = box 0 1 2 4 2 1; restart = false },
         {|{"ev":"job_start","t":10.0,"job":5,"box":{"x":0,"y":1,"z":2,"sx":4,"sy":2,"sz":1},"restart":false}|}
       );
@@ -208,7 +218,11 @@ let test_recorder_trace_schema () =
       let json = entry_to_json entry in
       check_string "schema line" expected json;
       check_bool "line is valid JSON" true (Jsonl.valid json))
-    cases
+    cases;
+  (* The run tag prefixes the object without disturbing the rest. *)
+  check_string "run-tagged line"
+    {|{"run":"abc","ev":"job_finish","t":12.0,"job":5}|}
+    (entry_to_json ~run:"abc" (Job_finished { job = 5; time = 12. }))
 
 let test_recorder_streaming () =
   let lines = ref [] in
@@ -284,13 +298,21 @@ let test_engine_trace_wiring () =
   let lines = List.rev !lines in
   check_bool "trace non-empty" true (List.length lines > 0);
   List.iter (fun l -> check_bool "trace line valid JSON" true (Jsonl.valid l)) lines;
-  let has_prefix p l = String.length l >= String.length p && String.sub l 0 (String.length p) = p in
-  check_bool "first line is run_begin" true (has_prefix "{\"ev\":\"run_begin\"" (List.hd lines));
-  check_bool "last line is run_end" true
-    (has_prefix "{\"ev\":\"run_end\"" (List.nth lines (List.length lines - 1)));
-  let finishes =
-    List.length (List.filter (has_prefix "{\"ev\":\"job_finish\"") lines)
+  let member name l =
+    match Jsonl.parse l with
+    | Ok v -> Option.bind (Jsonl.member name v) Jsonl.to_string_opt
+    | Error _ -> None
   in
+  let ev l = Option.value ~default:"" (member "ev" l) in
+  check_string "first line is run_meta" "run_meta" (ev (List.hd lines));
+  check_string "last line is run_summary" "run_summary" (ev (List.nth lines (List.length lines - 1)));
+  (* Every line carries the same run id tag. *)
+  (match member "run" (List.hd lines) with
+  | None -> Alcotest.fail "run_meta line has no run tag"
+  | Some rid ->
+      check_bool "every line tagged with the run id" true
+        (List.for_all (fun l -> member "run" l = Some rid) lines));
+  let finishes = List.length (List.filter (fun l -> ev l = "job_finish") lines) in
   check_int "one finish line per completed job" outcome.report.completed_jobs finishes
 
 (* ------------------------------------------------------------------ *)

@@ -474,18 +474,24 @@ let test_recorder_lifecycle () =
     Engine.run ~recorder ~policy:Bgl_sched.Placement.first_fit ~log
       ~failures:(mk_failures [ (40., 3) ]) ()
   in
-  (* start, node-failed+kill, restart, finish *)
-  check_int "entry count" 5 (Recorder.length recorder);
+  (* meta, arrival, start, node-failed+kill, restart, finish, summary *)
+  check_int "entry count" 8 (Recorder.length recorder);
   (match Recorder.entries recorder with
-  | [ Recorder.Job_started s1; Recorder.Job_killed k; Recorder.Node_failed nf;
-      Recorder.Job_started s2; Recorder.Job_finished f ] ->
+  | [ Recorder.Run_meta m; Recorder.Job_arrived a; Recorder.Job_started s1; Recorder.Job_killed k;
+      Recorder.Node_failed nf; Recorder.Job_started s2; Recorder.Job_finished f;
+      Recorder.Run_summary summary ] ->
+      check_int "meta job count" 1 m.jobs;
+      check_bool "meta has no parent" true (m.parent = None);
+      check_int "arrival job id" 7 a.job;
+      check_int "arrival size" 128 a.size;
       check_int "job id" 7 s1.job;
       check_bool "first start not restart" false s1.restart;
       check_float "kill time" 40. k.time;
       check_int "killing node" 3 k.node;
       Alcotest.(check (option int)) "victim" (Some 7) nf.victim;
       check_bool "second start is restart" true s2.restart;
-      check_float "finish" 140. f.time
+      check_float "finish" 140. f.time;
+      check_int "summary completions" 1 summary.report.completed_jobs
   | entries ->
       Alcotest.failf "unexpected trace: %s"
         (String.concat "; " (List.map (Format.asprintf "%a" Recorder.pp_entry) entries)));
@@ -509,6 +515,31 @@ let test_recorder_repair_entries () =
     (List.exists (function Recorder.Node_failed { victim = None; node = 99; _ } -> true | _ -> false) entries);
   check_bool "repair recorded" true
     (List.exists (function Recorder.Node_repaired { node = 99; _ } -> true | _ -> false) entries)
+
+let test_recorder_streaming_accessors () =
+  (* A streaming recorder retains no entries; the forensic accessors
+     must refuse loudly instead of silently answering from nothing. *)
+  let null = Bgl_obs.Sink.null () in
+  let recorder = Recorder.create ~sink:null () in
+  let log = mk_log [ mk_job ~id:0 ~arrival:0. ~size:1 ~run_time:5. ] in
+  let _ = Engine.run ~recorder ~policy:Bgl_sched.Placement.first_fit ~log ~failures:no_failures () in
+  check_bool "not buffered" false (Recorder.is_buffered recorder);
+  check_bool "entries empty" true (Recorder.entries recorder = []);
+  check_bool "length still counts" true (Recorder.length recorder > 0);
+  let raises fn =
+    match fn () with
+    | (_ : (float * Box.t) list) -> false
+    | exception Invalid_argument _ -> true
+  in
+  check_bool "starts_of raises" true (raises (fun () -> Recorder.starts_of recorder ~job:0));
+  check_bool "kills_of raises" true
+    (match Recorder.kills_of recorder ~job:0 with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  check_bool "busiest_victim raises" true
+    (match Recorder.busiest_victim recorder with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
 
 let test_recorder_migration_entry () =
   let dims = Dims.make 4 1 1 in
@@ -701,6 +732,7 @@ let () =
           tc "lifecycle entries" test_recorder_lifecycle;
           tc "repair entries" test_recorder_repair_entries;
           tc "migration entry" test_recorder_migration_entry;
+          tc "streaming accessors raise" test_recorder_streaming_accessors;
         ] );
       ("properties", props);
     ]

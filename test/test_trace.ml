@@ -208,6 +208,21 @@ let test_failure_io_round_trip () =
       check_float "time precision" 1.5 parsed.events.(0).time;
       check_int "node" 3 parsed.events.(0).node
 
+(* Regression: to_string used %.3f, so events closer than a
+   millisecond collapsed to the same timestamp across a save/load
+   cycle, silently reordering ties. %.17g round-trips exactly. *)
+let test_failure_io_precision () =
+  let t0 = 1234.000123456789 in
+  let log =
+    Failure_log.make ~name:"t" [ { time = t0; node = 1 }; { time = t0 +. 1e-7; node = 2 } ]
+  in
+  match Failure_log.of_string ~name:"t" (Failure_log.to_string log) with
+  | Error e -> Alcotest.fail e
+  | Ok parsed ->
+      check_bool "bit-exact first" true (parsed.events.(0).time = t0);
+      check_bool "bit-exact second" true (parsed.events.(1).time = t0 +. 1e-7);
+      check_bool "distinct after round trip" true (parsed.events.(0).time < parsed.events.(1).time)
+
 let test_failure_merge () =
   let a = Failure_log.make ~name:"a" [ { time = 10.; node = 1 }; { time = 30.; node = 2 } ] in
   let b = Failure_log.make ~name:"b" [ { time = 20.; node = 3 } ] in
@@ -267,6 +282,7 @@ let () =
           tc "shift" test_failure_shift;
           tc "validate nodes" test_failure_validate_nodes;
           tc "io round trip" test_failure_io_round_trip;
+          tc "io round trip precision" test_failure_io_precision;
           tc "merge" test_failure_merge;
           tc "parse errors" test_failure_parse_errors;
           tc "tab-separated fields" test_failure_tab_separated;
