@@ -9,6 +9,7 @@
      main.exe fig <id> [--full]   one paper figure (3..10, intro)
      main.exe ablate [<id>]       ablation suite (or one ablation)
      main.exe micro               Bechamel micro-benchmarks only
+     main.exe scale               machine-size scaling group only
      main.exe all [--full]        everything (default)
 
    CSVs are written to ./results/. *)
@@ -30,13 +31,15 @@ let emit_figure fig =
 open Bgl_torus
 open Bgl_partition
 
-let busy_grid ~seed ~fraction =
+let busy_grid_at dims ~seed ~fraction =
   let rng = Bgl_stats.Rng.create ~seed in
-  let grid = Grid.create Dims.bgl in
-  for node = 0 to Dims.volume Dims.bgl - 1 do
+  let grid = Grid.create dims in
+  for node = 0 to Dims.volume dims - 1 do
     if Bgl_stats.Rng.unit_float rng < fraction then Grid.occupy_node grid node ~owner:(node mod 9)
   done;
   grid
+
+let busy_grid ~seed ~fraction = busy_grid_at Dims.bgl ~seed ~fraction
 
 let finder_tests () =
   let grids = [ ("empty", busy_grid ~seed:1 ~fraction:0.); ("half", busy_grid ~seed:1 ~fraction:0.5) ] in
@@ -140,6 +143,60 @@ let finder_incremental_tests () =
       Bechamel.Test.make ~name:"prefix-16-events/incremental-sync" prefix_incr;
     ]
 
+(* Machine-size scaling: the same operations at the paper's 4x4x8
+   supernode view up to the full 64x32x32 node torus (512x the
+   volume). The claim under test is that per-event costs — a node
+   mutation with its summary upkeep, and an exists-style probe that
+   the hierarchical summary rejects — stay (near-)flat as the machine
+   grows, while the full prefix-table build shows the O(volume) cost
+   the summary gate avoids paying per probe. 90% occupancy makes a
+   quarter-machine partition geometrically impossible, so the
+   infeasible probe exercises the reject path the scheduler hits
+   whenever the queue holds jobs bigger than any surviving hole. *)
+let torus_scale_tests () =
+  let sizes =
+    [
+      ("4x4x8", Dims.bgl);
+      ("8x8x16", Dims.make 8 8 16);
+      ("16x16x32", Dims.make 16 16 32);
+      ("64x32x32", Dims.bgl_full);
+    ]
+  in
+  let tests =
+    List.concat_map
+      (fun (name, d) ->
+        let volume = Dims.volume d in
+        let grid = busy_grid_at d ~seed:5 ~fraction:0.9 in
+        let nodes = List.init 64 (fun i -> i * 131 mod volume) in
+        let toggle node =
+          match Grid.owner grid node with
+          | None -> Grid.occupy_node grid node ~owner:7
+          | Some owner -> Grid.vacate_node grid node ~owner
+        in
+        let cache = Finder.Cache.create grid in
+        ignore (Finder.Cache.exists_free cache ~volume:2);
+        [
+          Bechamel.Test.make
+            ~name:(Printf.sprintf "mutate-64/%s" name)
+            (Bechamel.Staged.stage (fun () -> List.iter toggle nodes));
+          Bechamel.Test.make
+            ~name:(Printf.sprintf "probe-infeasible/%s" name)
+            (Bechamel.Staged.stage (fun () ->
+                 ignore (Finder.exists_free grid ~volume:(max 8 (volume / 16)))));
+          Bechamel.Test.make
+            ~name:(Printf.sprintf "probe-feasible-cached/%s" name)
+            (Bechamel.Staged.stage (fun () -> ignore (Finder.Cache.exists_free cache ~volume:2)));
+          Bechamel.Test.make
+            ~name:(Printf.sprintf "prefix-build/%s" name)
+            (Bechamel.Staged.stage (fun () -> ignore (Prefix.build grid)));
+          Bechamel.Test.make
+            ~name:(Printf.sprintf "grid-copy/%s" name)
+            (Bechamel.Staged.stage (fun () -> ignore (Grid.copy grid)));
+        ])
+      sizes
+  in
+  Bechamel.Test.make_grouped ~name:"torus-scale" tests
+
 let event_queue_tests () =
   Bechamel.Test.make_grouped ~name:"engine"
     [
@@ -211,20 +268,14 @@ let parallel_tests () =
   in
   Bechamel.Test.make_grouped ~name:"parallel" [ map_d 1; map_d 2; map_d 4 ]
 
-let run_micro () =
-  Format.printf
-    "=== micro: partition finders (Appendix 9 lineage), engine kernels, obs overhead ===@.";
-  let tests =
-    Bechamel.Test.make_grouped ~name:"bgl"
-      [
-        finder_tests ();
-        finder_incremental_tests ();
-        event_queue_tests ();
-        obs_tests ();
-        parallel_tests ();
-      ]
+let run_micro_groups ?cfg ~banner groups =
+  Format.printf "=== %s ===@." banner;
+  let tests = Bechamel.Test.make_grouped ~name:"bgl" groups in
+  let cfg =
+    match cfg with
+    | Some c -> c
+    | None -> Bechamel.Benchmark.cfg ~limit:2000 ~quota:(Bechamel.Time.second 0.5) ()
   in
-  let cfg = Bechamel.Benchmark.cfg ~limit:2000 ~quota:(Bechamel.Time.second 0.5) () in
   let raw = Bechamel.Benchmark.all cfg [ Bechamel.Toolkit.Instance.monotonic_clock ] tests in
   let ols = Bechamel.Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| "run" |] in
   let results = Bechamel.Analyze.all ols Bechamel.Toolkit.Instance.monotonic_clock raw in
@@ -239,6 +290,27 @@ let run_micro () =
   in
   List.iter (fun (name, ns) -> Format.printf "%-44s %12.1f ns/run@." name ns) rows;
   Format.printf "@."
+
+let run_micro () =
+  run_micro_groups
+    ~banner:"micro: partition finders (Appendix 9 lineage), engine kernels, obs overhead"
+    [
+      finder_tests ();
+      finder_incremental_tests ();
+      event_queue_tests ();
+      obs_tests ();
+      parallel_tests ();
+    ]
+
+(* The scaling group keeps tens of megabytes of grid state live, so
+   bechamel's default per-sample GC stabilisation (a compaction each
+   time, not charged against the quota) would dominate the wall clock;
+   run it unstabilised with a smaller sample budget instead. *)
+let run_scale_micro () =
+  run_micro_groups
+    ~cfg:(Bechamel.Benchmark.cfg ~stabilize:false ~limit:300 ~quota:(Bechamel.Time.second 0.25) ())
+    ~banner:"micro: machine-size scaling (4x4x8 .. 64x32x32)"
+    [ torus_scale_tests () ]
 
 (* ------------------------------------------------------------------ *)
 
@@ -309,6 +381,7 @@ let () =
       run_baseline ~domains (scale_of_args args);
       run_ablations ~domains (scale_of_args args) None
   | [ "micro" ] -> run_micro ()
+  | [ "scale" ] -> run_scale_micro ()
   | [ "figs" ] -> run_figs ~domains (scale_of_args args)
   | [ "fig"; id ] -> run_one_fig ~domains (scale_of_args args) id
   | [ "ablate" ] -> run_ablations ~domains (scale_of_args args) None
@@ -316,6 +389,7 @@ let () =
   | [ "baseline" ] -> run_baseline ~domains (scale_of_args args)
   | _ ->
       Format.eprintf
-        "usage: main.exe [all|micro|figs|fig <id>|ablate [<id>]|baseline] [--full] [--jobs N]@.";
+        "usage: main.exe [all|micro|scale|figs|fig <id>|ablate [<id>]|baseline] [--full] [--jobs \
+         N]@.";
       exit 1);
   Format.printf "total wall time: %.1f s@." (Unix.gettimeofday () -. t0)

@@ -120,11 +120,15 @@ let fail =
          ~doc:"Arm a deterministic failpoint (e.g. trace.swf.read, \
                trace.failure_log.read:once). Repeatable; mainly for testing the error paths.")
 
+let dims = Bgl_core.Cli_flags.dims
+
 let differential =
-  Arg.(value & flag & info [ "differential-check" ]
-         ~doc:"Cross-check every accelerated partition-finder query against the naive \
-               reference finder during the run; abort with a divergence report on any \
-               disagreement. Orders of magnitude slower — debug/CI use only.")
+  Arg.(value & opt ~vopt:(Some 1) (some int) None & info [ "differential-check" ] ~docv:"N"
+         ~doc:"Cross-check accelerated partition-finder queries against the reference finder \
+               during the run; abort with a divergence report on any disagreement. Bare flag \
+               checks every query (orders of magnitude slower — debug/CI at small sizes); \
+               with a value, only every Nth query is checked, the affordable mode at full \
+               machine scale.")
 
 let arm_failpoints specs =
   List.fold_left
@@ -137,7 +141,7 @@ let arm_failpoints specs =
           | Error msg -> Bgl_resilience.Error.usagef "--fail %s" msg))
     (Ok ()) specs
 
-let run profile swf failure_log n_jobs load failures algo seed no_backfill migration repair
+let run profile swf failure_log n_jobs load failures algo seed dims no_backfill migration repair
     checkpoint per_job timeline metrics_out trace_out progress quiet fail differential audit =
   Bgl_resilience.Error.run ~prog:"bgl-sim" @@ fun () ->
   Bgl_core.Cli_flags.set_quiet quiet;
@@ -148,12 +152,18 @@ let run profile swf failure_log n_jobs load failures algo seed no_backfill migra
       Bgl_resilience.Error.usagef "--audit needs --trace-out (it re-reads the trace file)"
     else Ok ()
   in
-  Bgl_partition.Finder.set_differential differential;
+  let* () =
+    match differential with
+    | None -> Ok (Bgl_partition.Finder.set_differential false)
+    | Some n when n >= 1 -> Ok (Bgl_partition.Finder.set_differential ~sample:n true)
+    | Some n -> Bgl_resilience.Error.usagef "--differential-check %d: sample must be >= 1" n
+  in
   let obs = Bgl_core.Obs_cli.setup ?metrics_out ?trace_out ?progress () in
   let recorder = if timeline then Some (Bgl_sim.Recorder.create ()) else None in
   let config =
     {
       Bgl_sim.Config.default with
+      dims = Bgl_core.Cli_flags.parse_dims ~default:Bgl_sim.Config.default.dims dims;
       backfill = not no_backfill;
       migration;
       migration_overhead = (if migration then 60. else 0.);
@@ -281,11 +291,18 @@ let run profile swf failure_log n_jobs load failures algo seed no_backfill migra
 (* ------------------------------------------------------------------ *)
 (* bench: one full simulation with span timing on, then the profile *)
 
-let bench profile n_jobs load failures algo seed no_backfill migration metrics_out =
+let bench profile n_jobs load failures algo seed dims no_backfill migration metrics_out =
   Bgl_resilience.Error.run ~prog:"bgl-sim" @@ fun () ->
   let obs = Bgl_core.Obs_cli.setup ?metrics_out () in
   Bgl_obs.Span.set_enabled true;
-  let config = { Bgl_sim.Config.default with backfill = not no_backfill; migration } in
+  let config =
+    {
+      Bgl_sim.Config.default with
+      dims = Bgl_core.Cli_flags.parse_dims ~default:Bgl_sim.Config.default.dims dims;
+      backfill = not no_backfill;
+      migration;
+    }
+  in
   let scenario =
     Bgl_core.Scenario.make ~n_jobs ~load ?failures_paper:failures ~seed ~config ~profile algo
   in
@@ -302,7 +319,7 @@ let bench profile n_jobs load failures algo seed no_backfill migration metrics_o
 
 let run_term =
   Term.(
-    const run $ profile $ swf $ failure_log $ n_jobs $ load $ failures $ algo $ seed
+    const run $ profile $ swf $ failure_log $ n_jobs $ load $ failures $ algo $ seed $ dims
     $ no_backfill $ migration $ repair $ checkpoint $ per_job $ timeline $ metrics_out
     $ trace_out $ progress $ quiet $ fail $ differential $ audit)
 
@@ -311,8 +328,8 @@ let bench_cmd =
   Cmd.v
     (Cmd.info "bench" ~doc)
     Term.(
-      const bench $ profile $ n_jobs $ load $ failures $ algo $ seed $ no_backfill $ migration
-      $ metrics_out)
+      const bench $ profile $ n_jobs $ load $ failures $ algo $ seed $ dims $ no_backfill
+      $ migration $ metrics_out)
 
 let cmd =
   let doc = "run one fault-aware BG/L scheduling simulation" in

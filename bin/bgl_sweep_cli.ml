@@ -87,11 +87,15 @@ let cell_deadline =
   Arg.(value & opt (some float) None & info [ "cell-deadline" ] ~docv:"SECONDS"
          ~doc:"Cooperative budget: wall-clock limit per cell attempt.")
 
+let dims = Bgl_core.Cli_flags.dims
+
 let differential =
-  Arg.(value & flag & info [ "differential-check" ]
-         ~doc:"Cross-check every accelerated partition-finder query against the naive \
-               reference finder in every sweep cell (all domains); abort with a divergence \
-               report on any disagreement. Orders of magnitude slower — debug/CI use only.")
+  Arg.(value & opt ~vopt:(Some 1) (some int) None & info [ "differential-check" ] ~docv:"N"
+         ~doc:"Cross-check accelerated partition-finder queries against the reference finder \
+               in every sweep cell (all domains); abort with a divergence report on any \
+               disagreement. Bare flag checks every query (orders of magnitude slower — \
+               debug/CI at small sizes); with a value, only every Nth query is checked, the \
+               affordable mode at full machine scale.")
 
 let ( let* ) = Result.bind
 
@@ -106,11 +110,16 @@ let arm_failpoints specs =
       | Error msg -> Bgl_resilience.Error.usagef "--fail %s" msg)
     (Ok ()) specs
 
-let run ids full n_jobs jobs seeds out chart metrics_out trace_out progress journal resume fail
-    retries cell_fuel cell_deadline differential audit =
+let run ids full n_jobs jobs seeds dims out chart metrics_out trace_out progress journal resume
+    fail retries cell_fuel cell_deadline differential audit =
   Bgl_resilience.Error.run ~prog:"bgl-sweep" @@ fun () ->
-  Bgl_partition.Finder.set_differential differential;
   let open Bgl_resilience in
+  let* () =
+    match differential with
+    | None -> Ok (Bgl_partition.Finder.set_differential false)
+    | Some n when n >= 1 -> Ok (Bgl_partition.Finder.set_differential ~sample:n true)
+    | Some n -> Error.usagef "--differential-check %d: sample must be >= 1" n
+  in
   let* () =
     if audit && trace_out = None then
       Error.usagef "--audit needs --trace-out (it re-reads the trace file)"
@@ -169,6 +178,7 @@ let run ids full n_jobs jobs seeds out chart metrics_out trace_out progress jour
     { scale with
       Bgl_core.Figures.n_jobs = Option.value n_jobs ~default:scale.Bgl_core.Figures.n_jobs;
       seeds = Option.value seeds ~default:scale.Bgl_core.Figures.seeds;
+      dims = Bgl_core.Cli_flags.parse_dims ~default:scale.Bgl_core.Figures.dims dims;
     }
   in
   let* producer =
@@ -243,8 +253,8 @@ let cmd =
   let doc = "regenerate the paper's evaluation figures and ablations" in
   Cmd.v (Cmd.info "bgl-sweep" ~doc)
     Term.(
-      const run $ ids $ full $ n_jobs $ jobs $ seeds $ out $ chart $ metrics_out $ trace_out
-      $ progress $ journal $ resume $ fail $ retries $ cell_fuel $ cell_deadline $ differential
-      $ audit)
+      const run $ ids $ full $ n_jobs $ jobs $ seeds $ dims $ out $ chart $ metrics_out
+      $ trace_out $ progress $ journal $ resume $ fail $ retries $ cell_fuel $ cell_deadline
+      $ differential $ audit)
 
 let () = exit (Cmd.eval' cmd)

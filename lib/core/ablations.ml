@@ -17,7 +17,7 @@ let combine_rule (scale : Figures.scale) =
            if a <= 0. then None
            else
              let mk ~seed =
-               Scenario.make ~n_jobs:scale.n_jobs ~seed ~combine ~profile:sdsc
+               Scenario.make ~n_jobs:scale.n_jobs ~dims:scale.dims ~seed ~combine ~profile:sdsc
                  (Scenario.Balancing { confidence = a })
              in
              Some (a, avg scale mk slowdown))
@@ -37,7 +37,7 @@ let false_positives (scale : Figures.scale) =
            if a <= 0. then None
            else
              let mk ~seed =
-               Scenario.make ~n_jobs:scale.n_jobs ~seed ~false_positive:fp ~profile:sdsc
+               Scenario.make ~n_jobs:scale.n_jobs ~dims:scale.dims ~seed ~false_positive:fp ~profile:sdsc
                  (Scenario.Tie_breaking { accuracy = a })
              in
              Some (a, avg scale mk slowdown))
@@ -61,7 +61,7 @@ let checkpointing (scale : Figures.scale) =
           Bgl_sim.Config.default
     in
     let mk ~seed =
-      Scenario.make ~n_jobs:scale.n_jobs ~seed ~config ~profile:sdsc Scenario.Fault_oblivious
+      Scenario.make ~n_jobs:scale.n_jobs ~dims:scale.dims ~seed ~config ~profile:sdsc Scenario.Fault_oblivious
     in
     avg scale mk metric
   in
@@ -84,7 +84,7 @@ let adaptive_checkpointing (scale : Figures.scale) =
            else
              let config = with_checkpoint spec Bgl_sim.Config.default in
              let mk ~seed =
-               Scenario.make ~n_jobs:scale.n_jobs ~seed ~config ~profile:sdsc
+               Scenario.make ~n_jobs:scale.n_jobs ~dims:scale.dims ~seed ~config ~profile:sdsc
                  (Scenario.Tie_breaking { accuracy = a })
              in
              Some (a, avg scale mk slowdown))
@@ -107,7 +107,7 @@ let backfilling (scale : Figures.scale) =
   let point ~backfill ~failures metric =
     let config = { Bgl_sim.Config.default with backfill } in
     let mk ~seed =
-      Scenario.make ~n_jobs:scale.n_jobs ~seed ~config ~failures_paper:failures ~profile:sdsc
+      Scenario.make ~n_jobs:scale.n_jobs ~dims:scale.dims ~seed ~config ~failures_paper:failures ~profile:sdsc
         Scenario.Fault_oblivious
     in
     avg scale mk metric
@@ -127,7 +127,7 @@ let migration (scale : Figures.scale) =
   let point ~migration metric =
     let config = { Bgl_sim.Config.default with migration; migration_overhead = 60. } in
     let mk ~seed =
-      Scenario.make ~n_jobs:scale.n_jobs ~seed ~config ~profile:sdsc
+      Scenario.make ~n_jobs:scale.n_jobs ~dims:scale.dims ~seed ~config ~profile:sdsc
         (Scenario.Balancing { confidence = 0.1 })
     in
     avg scale mk metric
@@ -154,7 +154,7 @@ let failure_model (scale : Figures.scale) =
   in
   let point ~uniform ~algo =
     let mk ~seed =
-      let sc = Scenario.make ~n_jobs:scale.n_jobs ~seed ~profile:sdsc algo in
+      let sc = Scenario.make ~n_jobs:scale.n_jobs ~dims:scale.dims ~seed ~profile:sdsc algo in
       if uniform then { sc with failure_spec_of = uniform_spec; variant_tag = "uniform" } else sc
     in
     avg scale mk slowdown
@@ -182,7 +182,7 @@ let repair_time (scale : Figures.scale) =
   let point repair metric =
     let config = { Bgl_sim.Config.default with repair_time = repair } in
     let mk ~seed =
-      Scenario.make ~n_jobs:scale.n_jobs ~seed ~config ~profile:sdsc
+      Scenario.make ~n_jobs:scale.n_jobs ~dims:scale.dims ~seed ~config ~profile:sdsc
         (Scenario.Balancing { confidence = 0.5 })
     in
     avg scale mk metric
@@ -201,7 +201,7 @@ let candidate_cap (scale : Figures.scale) =
   let point cap =
     let config = { Bgl_sim.Config.default with candidate_cap = cap } in
     let mk ~seed =
-      Scenario.make ~n_jobs:scale.n_jobs ~seed ~config ~profile:sdsc
+      Scenario.make ~n_jobs:scale.n_jobs ~dims:scale.dims ~seed ~config ~profile:sdsc
         (Scenario.Balancing { confidence = 0.5 })
     in
     avg scale mk slowdown
@@ -219,7 +219,7 @@ let history_predictor (scale : Figures.scale) =
      tie-breaking variant. *)
   let half_lives_h = [ 6.; 24.; 48.; 168.; 672. ] in
   let slow algo =
-    let mk ~seed = Scenario.make ~n_jobs:scale.n_jobs ~seed ~profile:sdsc algo in
+    let mk ~seed = Scenario.make ~n_jobs:scale.n_jobs ~dims:scale.dims ~seed ~profile:sdsc algo in
     avg scale mk slowdown
   in
   let baseline = slow Scenario.Fault_oblivious in
@@ -258,7 +258,7 @@ let policy_zoo (scale : Figures.scale) =
   let measure metric =
     List.map
       (fun (x, _, algo) ->
-        let mk ~seed = Scenario.make ~n_jobs:scale.n_jobs ~seed ~profile:sdsc algo in
+        let mk ~seed = Scenario.make ~n_jobs:scale.n_jobs ~dims:scale.dims ~seed ~profile:sdsc algo in
         (x, avg scale mk metric))
       policies
   in

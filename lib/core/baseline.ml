@@ -14,7 +14,7 @@ let avg = Ablations.avg
 let point (scale : Figures.scale) ~profile ~failures ~variant metric =
   let config = variant Bgl_sim.Config.default in
   let mk ~seed =
-    Scenario.make ~n_jobs:scale.n_jobs ~failures_paper:failures ~seed ~config ~profile
+    Scenario.make ~n_jobs:scale.n_jobs ~dims:scale.dims ~failures_paper:failures ~seed ~config ~profile
       Scenario.Fault_oblivious
   in
   avg scale mk metric

@@ -25,6 +25,15 @@ let quiet =
         ~doc:"Suppress informational notes (skipped/malformed trace lines, scan summaries), for \
               script use. Errors still print.")
 
+let dims =
+  Cmdliner.Arg.(
+    value
+    & opt (some string) None
+    & info [ "dims" ] ~docv:"XxYxZ"
+        ~doc:"Machine size as three torus dimensions, e.g. 4x4x8 (the paper's supernode view, \
+              the default) or 64x32x32 (the full BG/L node torus). Comma separators also \
+              accepted.")
+
 let quiet_state = Atomic.make false
 let set_quiet b = Atomic.set quiet_state b
 let quiet_enabled () = Atomic.get quiet_state
@@ -34,6 +43,13 @@ let notef fmt =
   else Format.eprintf fmt
 
 let usage_failf fmt = Bgl_resilience.Error.raise_usagef fmt
+
+let parse_dims ~default = function
+  | None -> default
+  | Some s -> (
+      match Bgl_torus.Dims.of_string s with
+      | Ok d -> d
+      | Error msg -> usage_failf "--dims %s" msg)
 
 let open_out_or_fail path =
   try open_out path

@@ -17,6 +17,16 @@ val format : format Cmdliner.Term.t
 val quiet : bool Cmdliner.Term.t
 (** [--quiet] / [-q]. *)
 
+val dims : string option Cmdliner.Term.t
+(** [--dims XxYxZ] — machine size, unparsed (validated by
+    {!parse_dims} inside the tool's [run], so a bad value exits 2
+    rather than with cmdliner's 124). *)
+
+val parse_dims : default:Bgl_torus.Dims.t -> string option -> Bgl_torus.Dims.t
+(** Parse a [--dims] value ([4x4x8] or [64,32,32] style); [None]
+    yields [default]. Malformed input raises [Error.Cli (Usage _)]
+    (exit 2). *)
+
 val set_quiet : bool -> unit
 (** Install the flag's value process-wide so library-level note paths
     ({!notef}) need no threading. *)

@@ -3,14 +3,30 @@ type scale = {
   seeds : int list;
   a_values : float list;
   fail_fracs : float list;
+  dims : Bgl_torus.Dims.t;
 }
 
 let grid_01 step =
   let n = int_of_float (Float.round (1. /. step)) in
   List.init (n + 1) (fun i -> float_of_int i *. step)
 
-let quick = { n_jobs = 1500; seeds = [ 11; 12 ]; a_values = grid_01 0.1; fail_fracs = grid_01 0.125 }
-let full = { n_jobs = 3000; seeds = [ 11; 12; 13 ]; a_values = grid_01 0.1; fail_fracs = grid_01 0.125 }
+let quick =
+  {
+    n_jobs = 1500;
+    seeds = [ 11; 12 ];
+    a_values = grid_01 0.1;
+    fail_fracs = grid_01 0.125;
+    dims = Bgl_torus.Dims.bgl;
+  }
+
+let full =
+  {
+    n_jobs = 3000;
+    seeds = [ 11; 12; 13 ];
+    a_values = grid_01 0.1;
+    fail_fracs = grid_01 0.125;
+    dims = Bgl_torus.Dims.bgl;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Memoised scenario runs: sweeps share many (profile, load, failures,
@@ -122,7 +138,7 @@ let llnl = Bgl_workload.Profile.llnl
 
 let intro_claim scale =
   let point failures ~seed =
-    Scenario.make ~n_jobs:scale.n_jobs ~failures_paper:failures ~seed ~profile:sdsc
+    Scenario.make ~n_jobs:scale.n_jobs ~dims:scale.dims ~failures_paper:failures ~seed ~profile:sdsc
       Scenario.Fault_oblivious
   in
   let at f = avg scale (point f) slowdown in
@@ -149,7 +165,7 @@ let fig3 scale =
       (List.map
          (fun failures ->
            let mk ~seed =
-             Scenario.make ~n_jobs:scale.n_jobs ~failures_paper:failures ~seed ~profile:sdsc
+             Scenario.make ~n_jobs:scale.n_jobs ~dims:scale.dims ~failures_paper:failures ~seed ~profile:sdsc
                (algo_of a)
            in
            (float_of_int failures, avg scale mk slowdown))
@@ -166,7 +182,7 @@ let fig4 scale =
       (List.map
          (fun failures ->
            let mk ~seed =
-             Scenario.make ~n_jobs:scale.n_jobs ~load:c ~failures_paper:failures ~seed
+             Scenario.make ~n_jobs:scale.n_jobs ~dims:scale.dims ~load:c ~failures_paper:failures ~seed
                ~profile:sdsc
                (Scenario.Balancing { confidence = 0.1 })
            in
@@ -191,7 +207,7 @@ let fig5 scale =
   List.map
     (fun (sub, c) ->
       let mk failures ~seed =
-        Scenario.make ~n_jobs:scale.n_jobs ~load:c ~failures_paper:failures ~seed ~profile:sdsc
+        Scenario.make ~n_jobs:scale.n_jobs ~dims:scale.dims ~load:c ~failures_paper:failures ~seed ~profile:sdsc
           (Scenario.Balancing { confidence = 0.1 })
       in
       Series.figure
@@ -204,7 +220,7 @@ let fig5 scale =
 
 let confidence_sweep scale ~profile ~load metric a =
   let algo = if a <= 0. then Scenario.Fault_oblivious else Scenario.Balancing { confidence = a } in
-  let mk ~seed = Scenario.make ~n_jobs:scale.n_jobs ~load ~seed ~profile algo in
+  let mk ~seed = Scenario.make ~n_jobs:scale.n_jobs ~dims:scale.dims ~load ~seed ~profile algo in
   avg scale mk metric
 
 let fig6 scale =
@@ -257,7 +273,7 @@ let accuracy_sweep scale ~profile ~load metric a =
   let algo =
     if a <= 0. then Scenario.Fault_oblivious else Scenario.Tie_breaking { accuracy = a }
   in
-  let mk ~seed = Scenario.make ~n_jobs:scale.n_jobs ~load ~seed ~profile algo in
+  let mk ~seed = Scenario.make ~n_jobs:scale.n_jobs ~dims:scale.dims ~load ~seed ~profile algo in
   avg scale mk metric
 
 let fig9 scale =

@@ -14,6 +14,10 @@ type scale = {
   seeds : int list;  (** replications averaged per point *)
   a_values : float list;  (** confidence/accuracy grid *)
   fail_fracs : float list;  (** fractions of the per-log max failure count *)
+  dims : Bgl_torus.Dims.t;
+      (** machine size every scenario runs on (the [--dims] flag);
+          {!quick}/{!full} default to the paper's 4×4×8 supernode
+          torus *)
 }
 
 val quick : scale

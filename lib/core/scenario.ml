@@ -24,8 +24,11 @@ type t = {
 }
 
 let make ?(n_jobs = 2000) ?(load = 1.0) ?failures_paper ?(seed = 11)
-    ?(config = Bgl_sim.Config.default) ?(combine = `Product) ?(false_positive = 0.)
+    ?(config = Bgl_sim.Config.default) ?dims ?(combine = `Product) ?(false_positive = 0.)
     ?(failure_amplification = 2.0) ~(profile : Bgl_workload.Profile.t) algo =
+  let config =
+    match dims with None -> config | Some d -> { config with Bgl_sim.Config.dims = d }
+  in
   {
     profile;
     n_jobs;

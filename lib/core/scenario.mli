@@ -53,6 +53,7 @@ val make :
   ?failures_paper:int ->
   ?seed:int ->
   ?config:Bgl_sim.Config.t ->
+  ?dims:Bgl_torus.Dims.t ->
   ?combine:[ `Product | `Max ] ->
   ?false_positive:float ->
   ?failure_amplification:float ->
@@ -61,7 +62,9 @@ val make :
   t
 (** Defaults: 2000 jobs, load 1.0, the profile's paper failure count,
     seed 11, {!Bgl_sim.Config.default}, [`Product], no false
-    positives. *)
+    positives. [dims] overrides the machine size of [config] — the
+    sweep drivers thread {!Figures.scale}'s dims through it, and the
+    config digest in {!label} keys journal cells on it. *)
 
 val injected_failures : t -> int
 (** The failure count actually injected after job-count scaling. *)

@@ -1,14 +1,34 @@
 open Bgl_torus
 
-type algo = Naive | Pop | Shape_search | Prefix
+type algo = Naive | Pop | Shape_search | Prefix | Auto
 
-let all_algos = [ Naive; Pop; Shape_search; Prefix ]
+let all_algos = [ Naive; Pop; Shape_search; Prefix; Auto ]
 
 let algo_name = function
   | Naive -> "naive"
   | Pop -> "pop"
   | Shape_search -> "shape-search"
   | Prefix -> "prefix"
+  | Auto -> "auto"
+
+(* ------------------------------------------------------------------ *)
+(* Scale selection: machine-volume thresholds for the finder
+   front-end. Supernode-scale grids (the paper's 4x4x8) scan directly
+   with no table; mid-size grids use the summed-area table; at
+   [summary_gate_volume] and above every scan first consults the
+   grid's Summary to reject shapes without enumerating bases — on the
+   full 64x32x32 machine a shape has up to 65,536 bases, so the O(nx +
+   ny + nz + #blocks) summary probe is the difference between a
+   feasibility check and a machine-size scan. *)
+
+let direct_volume_max = 128
+let summary_gate_volume = 512
+
+let summary_gated grid = Grid.volume grid >= summary_gate_volume
+
+let shape_possible grid shape =
+  (not (summary_gated grid))
+  || Summary.shape_feasible (Grid.summary grid) ~wrap:(Grid.wrap grid) shape
 
 let compute_bases (d : Dims.t) ~wrap (s : Shape.t) =
   let range extent dim =
@@ -18,16 +38,40 @@ let compute_bases (d : Dims.t) ~wrap (s : Shape.t) =
   let xs = range s.sx d.nx and ys = range s.sy d.ny and zs = range s.sz d.nz in
   List.concat_map (fun z -> List.concat_map (fun y -> List.map (fun x -> Coord.make x y z) xs) ys) zs
 
+(* Non-allocating base enumeration in the same order as
+   [compute_bases] (x fastest, then y, then z): the scan paths iterate
+   bases instead of materializing them, because at full machine scale
+   a single shape's base array is ~65k coordinates. *)
+let iter_bases (d : Dims.t) ~wrap (s : Shape.t) ~f =
+  let hi extent dim = if wrap then if extent = dim then 0 else dim - 1 else dim - extent in
+  let x_hi = hi s.sx d.nx and y_hi = hi s.sy d.ny and z_hi = hi s.sz d.nz in
+  for z = 0 to z_hi do
+    for y = 0 to y_hi do
+      for x = 0 to x_hi do
+        f x y z
+      done
+    done
+  done
+
 (* Base sets depend only on (dims, wrap, shape); the schedulers query
    them millions of times per simulation, so they are cached as
    arrays. The cache is domain-local: a global [Hashtbl] would race
    (and can corrupt its buckets) under parallel sweeps, and a mutex
    would serialise the hottest lookup in the code base — so each
    domain fills its own table, at the cost of one recomputation per
-   (key, domain). *)
+   (key, domain). The cache is capped: a sweep over many machine
+   sizes or a long-lived process probing odd shapes would otherwise
+   accumulate base arrays without bound, and at 64x32x32 each one is
+   ~65k coordinates. Eviction is wholesale ([Hashtbl.reset]) — the
+   arrays are pure functions of the key, so dropping a warm entry
+   costs one recomputation, never correctness. *)
+let bases_cache_cap = 256
+
 let bases_cache : (int * int * int * bool * int * int * int, Coord.t array) Hashtbl.t Domain.DLS.key
     =
   Domain.DLS.new_key (fun () -> Hashtbl.create 256)
+
+let bases_cache_stats () = (Hashtbl.length (Domain.DLS.get bases_cache), bases_cache_cap)
 
 let bases_arr (d : Dims.t) ~wrap (s : Shape.t) =
   let cache = Domain.DLS.get bases_cache in
@@ -36,6 +80,7 @@ let bases_arr (d : Dims.t) ~wrap (s : Shape.t) =
   | Some arr -> arr
   | None ->
       let arr = Array.of_list (compute_bases d ~wrap s) in
+      if Hashtbl.length cache >= bases_cache_cap then Hashtbl.reset cache;
       Hashtbl.replace cache key arr;
       arr
 
@@ -74,46 +119,137 @@ let find_naive grid ~volume =
     (Shapes.shapes_desc d);
   List.filter (fun b -> Box.volume b = volume) !acc |> sort_boxes
 
+let find_shape_search grid ~volume =
+  let d = Grid.dims grid in
+  let wrap = Grid.wrap grid in
+  let acc = ref [] in
+  List.iter
+    (fun shape ->
+      List.iter
+        (fun base ->
+          let box = Box.make base shape in
+          if box_free_scan grid box then acc := box :: !acc)
+        (bases d ~wrap shape))
+    (Shapes.shapes_of_volume d volume);
+  sort_boxes !acc
+
+(* The table argument is lazy so a query whose every shape is rejected
+   by the summary never builds or syncs the summed-area table at all —
+   the common case for ghost-grid feasibility probes on a busy
+   machine. [Prefix.box_is_free] syncs internally, so force order does
+   not matter for correctness. *)
+let find_prefix_scan ?(gate = true) grid table ~volume =
+  let d = Grid.dims grid in
+  let wrap = Grid.wrap grid in
+  let gate = gate && summary_gated grid in
+  let acc = ref [] in
+  List.iter
+    (fun shape ->
+      if (not gate) || shape_possible grid shape then begin
+        let tbl = Lazy.force table in
+        iter_bases d ~wrap shape ~f:(fun x y z ->
+            let box = Box.make (Coord.make x y z) shape in
+            if Prefix.box_is_free tbl box then acc := box :: !acc)
+      end)
+    (Shapes.shapes_of_volume d volume);
+  sort_boxes !acc
+
+let find_prefix_with grid table ~volume = find_prefix_scan grid (Lazy.from_val table) ~volume
+let find_prefix grid ~volume = find_prefix_scan grid (lazy (Prefix.build grid)) ~volume
+
+exception Found_base
+
+let exists_base_free table d ~wrap shape =
+  try
+    iter_bases d ~wrap shape ~f:(fun x y z ->
+        if Prefix.box_is_free table (Box.make (Coord.make x y z) shape) then raise Found_base);
+    false
+  with Found_base -> true
+
+let exists_free_scan grid table ~volume =
+  let d = Grid.dims grid in
+  let wrap = Grid.wrap grid in
+  let gate = summary_gated grid in
+  List.exists
+    (fun shape ->
+      ((not gate) || shape_possible grid shape)
+      && exists_base_free (Lazy.force table) d ~wrap shape)
+    (Shapes.shapes_of_volume d volume)
+
 (* ------------------------------------------------------------------ *)
-(* Differential mode: cross-check every accelerated query against the
-   naive reference finder. Global and atomic so parallel sweep domains
-   share one switch; the check is orders of magnitude slower than the
-   query it guards, so it is strictly a debug/CI facility. *)
+(* Differential mode: cross-check accelerated queries against an
+   independent reference finder. Global and atomic so parallel sweep
+   domains share one switch; the check is orders of magnitude slower
+   than the query it guards, so it is strictly a debug/CI facility.
+   On machines too large for the naive O(M^9) oracle the reference is
+   a freshly built, summary-ungated table scan: an independent
+   occupancy representation exercising none of the incremental
+   maintenance, memoization or summary gating under test. A sampling
+   rate makes the mode affordable on full-machine runs: [sample = n]
+   checks every nth guarded query. *)
 
 exception Divergence of string
 
 let () = Printexc.register_printer (function Divergence msg -> Some msg | _ -> None)
 
-let differential = Atomic.make false
-let set_differential on = Atomic.set differential on
-let differential_enabled () = Atomic.get differential
+(* 0 = off; n >= 1 = cross-check every nth guarded query. *)
+let differential = Atomic.make 0
+let diff_tick = Atomic.make 0
+
+let set_differential ?(sample = 1) on =
+  if sample < 1 then invalid_arg "Finder.set_differential: sample must be >= 1";
+  Atomic.set differential (if on then sample else 0);
+  Atomic.set diff_tick 0
+
+let differential_enabled () = Atomic.get differential > 0
+
+(* Whether this particular guarded query gets checked. *)
+let differential_armed () =
+  match Atomic.get differential with
+  | 0 -> false
+  | 1 -> true
+  | n -> Atomic.fetch_and_add diff_tick 1 mod n = 0
+
+let naive_oracle_max = 128
+
+let reference_find grid ~volume =
+  if Grid.volume grid <= naive_oracle_max then find_naive grid ~volume
+  else find_prefix_scan ~gate:false grid (lazy (Prefix.build grid)) ~volume
 
 let pp_box_list ppf boxes =
   if boxes = [] then Format.fprintf ppf "(none)"
   else Format.(pp_print_list ~pp_sep:pp_print_space Box.pp) ppf boxes
+
+(* A full ASCII dump of a 64x32x32 grid helps nobody; keep it for the
+   supernode-scale grids where it is actually readable. *)
+let pp_grid_capped ppf grid =
+  if Grid.volume grid <= 4096 then Grid.pp ppf grid
+  else
+    Format.fprintf ppf "(grid dump suppressed: %a, %d nodes free)" Dims.pp (Grid.dims grid)
+      (Grid.free_count grid)
 
 let divergence ~site grid ~volume ~fast ~reference =
   raise
     (Divergence
        (Format.asprintf
           "@[<v>finder divergence at %s: volume=%d dims=%a wrap=%b@ accelerated (%d boxes): \
-           @[<hov>%a@]@ naive reference (%d boxes): @[<hov>%a@]@ grid:@ %a@]"
+           @[<hov>%a@]@ reference (%d boxes): @[<hov>%a@]@ grid:@ %a@]"
           site volume Dims.pp (Grid.dims grid) (Grid.wrap grid) (List.length fast) pp_box_list
-          fast (List.length reference) pp_box_list reference Grid.pp grid))
+          fast (List.length reference) pp_box_list reference pp_grid_capped grid))
 
 let check_counter () =
   Bgl_obs.Registry.counter
     (Bgl_obs.Runtime.registry ())
-    ~help:"accelerated finder queries cross-checked against the naive reference"
+    ~help:"accelerated finder queries cross-checked against the reference finder"
     "bgl_finder_differential_checks_total"
 
-(* The accelerated result must be equal to the naive enumeration AND
-   pass direct validity checks (free, in-bounds, exact volume) so a bug
-   shared by both paths — e.g. in the base enumeration — still has a
-   chance to surface. *)
+(* The accelerated result must be equal to the reference enumeration
+   AND pass direct validity checks (free, in-bounds, exact volume) so a
+   bug shared by both paths — e.g. in the base enumeration — still has
+   a chance to surface. *)
 let differential_check ~site grid ~volume fast =
   Bgl_obs.Registry.inc (check_counter ());
-  let reference = find_naive grid ~volume in
+  let reference = reference_find grid ~volume in
   if not (List.equal Box.equal fast reference) then divergence ~site grid ~volume ~fast ~reference;
   let d = Grid.dims grid in
   List.iter
@@ -131,44 +267,14 @@ let differential_check ~site grid ~volume fast =
 
 let differential_check_exists ~site grid ~volume fast =
   Bgl_obs.Registry.inc (check_counter ());
-  let reference = find_naive grid ~volume <> [] in
+  let reference = reference_find grid ~volume <> [] in
   if fast <> reference then
     raise
       (Divergence
          (Format.asprintf
-            "@[<v>finder divergence at %s: exists_free volume=%d returned %b, naive says %b@ \
-             grid:@ %a@]"
-            site volume fast reference Grid.pp grid))
-
-let find_shape_search grid ~volume =
-  let d = Grid.dims grid in
-  let wrap = Grid.wrap grid in
-  let acc = ref [] in
-  List.iter
-    (fun shape ->
-      List.iter
-        (fun base ->
-          let box = Box.make base shape in
-          if box_free_scan grid box then acc := box :: !acc)
-        (bases d ~wrap shape))
-    (Shapes.shapes_of_volume d volume);
-  sort_boxes !acc
-
-let find_prefix_with grid table ~volume =
-  let d = Grid.dims grid in
-  let wrap = Grid.wrap grid in
-  let acc = ref [] in
-  List.iter
-    (fun shape ->
-      Array.iter
-        (fun base ->
-          let box = Box.make base shape in
-          if Prefix.box_is_free table box then acc := box :: !acc)
-        (bases_arr d ~wrap shape))
-    (Shapes.shapes_of_volume d volume);
-  sort_boxes !acc
-
-let find_prefix grid ~volume = find_prefix_with grid (Prefix.build grid) ~volume
+            "@[<v>finder divergence at %s: exists_free volume=%d returned %b, reference says \
+             %b@ grid:@ %a@]"
+            site volume fast reference pp_grid_capped grid))
 
 (* Span guards sit outside Span.time so the disabled path allocates no
    closure: candidate enumeration runs millions of times per sweep. *)
@@ -182,32 +288,23 @@ let find_with table grid ~volume =
         Bgl_obs.Span.time ~name:"finder.find_with" (fun () -> find_prefix_with grid table ~volume)
       else find_prefix_with grid table ~volume
     in
-    if differential_enabled () then differential_check ~site:"find_with" grid ~volume result;
+    if differential_armed () then differential_check ~site:"find_with" grid ~volume result;
     result
   end
-
-let exists_free_scan table grid ~volume =
-  let d = Grid.dims grid in
-  let wrap = Grid.wrap grid in
-  List.exists
-    (fun shape ->
-      Array.exists
-        (fun base -> Prefix.box_is_free table (Box.make base shape))
-        (bases_arr d ~wrap shape))
-    (Shapes.shapes_of_volume d volume)
 
 let exists_free_with table grid ~volume =
   if volume <= 0 then invalid_arg "Finder.exists_free_with: volume must be positive";
   Bgl_resilience.Budget.check ~site:"finder.exists_free";
   if volume > Grid.volume grid then false
   else begin
+    let table = Lazy.from_val table in
     let result =
       if Bgl_obs.Span.enabled () then
         Bgl_obs.Span.time ~name:"finder.exists_free" (fun () ->
-            exists_free_scan table grid ~volume)
-      else exists_free_scan table grid ~volume
+            exists_free_scan grid table ~volume)
+      else exists_free_scan grid table ~volume
     in
-    if differential_enabled () then
+    if differential_armed () then
       differential_check_exists ~site:"exists_free_with" grid ~volume result;
     result
   end
@@ -306,7 +403,12 @@ module Cache = struct
 
   type t = {
     grid : Grid.t;
-    table : Prefix.t;  (* tracking table; see Prefix.track *)
+    table : Prefix.t Lazy.t;
+        (* tracking table (Prefix.track), built on first forced use:
+           the engine creates ghost caches per backfill/migration
+           probe, and at full machine scale an eager 545k-entry build
+           per probe would dominate — summary-gated probes often never
+           touch the table at all. *)
     find_memo : (int, int * Box.t list) Hashtbl.t;  (* volume -> fingerprint, result *)
     exists_memo : (int, int * bool) Hashtbl.t;
     mutable mfp_slot : (int * Box.t option) option;
@@ -324,7 +426,7 @@ module Cache = struct
     let reg = Bgl_obs.Runtime.registry () in
     {
       grid;
-      table = Prefix.track grid;
+      table = lazy (Prefix.track grid);
       find_memo = Hashtbl.create 32;
       exists_memo = Hashtbl.create 32;
       mfp_slot = None;
@@ -342,11 +444,15 @@ module Cache = struct
     }
 
   let grid t = t.grid
-  let note_box t box = Prefix.note_box t.table box
-  let note_node t node = Prefix.note_node t.table node
+
+  (* Notes only reach a table that exists; a table built later starts
+     from the grid's then-current occupancy, so unforwarded notes are
+     never missed state. *)
+  let note_box t box = if Lazy.is_val t.table then Prefix.note_box (Lazy.force t.table) box
+  let note_node t node = if Lazy.is_val t.table then Prefix.note_node (Lazy.force t.table) node
 
   let flush_table_stats t =
-    let s = Prefix.stats t.table in
+    let s = Prefix.stats (Lazy.force t.table) in
     let incr = s.Prefix.incremental_updates - t.last_stats.Prefix.incremental_updates in
     let full = s.Prefix.full_rebuilds - t.last_stats.Prefix.full_rebuilds in
     if incr > 0 then Bgl_obs.Registry.add t.obs_incr (float_of_int incr);
@@ -354,9 +460,14 @@ module Cache = struct
     if incr > 0 || full > 0 then t.last_stats <- s
 
   let table t =
-    Prefix.sync t.table;
+    let tbl = Lazy.force t.table in
+    Prefix.sync tbl;
     flush_table_stats t;
-    t.table
+    tbl
+
+  (* A per-query lazy view: synced (and built) only if the scan
+     actually consults it. *)
+  let lazy_table t = lazy (table t)
 
   let hit t =
     t.counters.hits <- t.counters.hits + 1;
@@ -367,7 +478,7 @@ module Cache = struct
     Bgl_obs.Registry.inc t.obs_misses
 
   let stats t = (t.counters.hits, t.counters.misses)
-  let table_stats t = Prefix.stats t.table
+  let table_stats t = Prefix.stats (Lazy.force t.table)
 
   let find t ~volume =
     if volume <= 0 then invalid_arg "Finder.Cache.find: volume must be positive";
@@ -382,17 +493,17 @@ module Cache = struct
             boxes
         | _ ->
             miss t;
-            let table = table t in
+            let table = lazy_table t in
             let boxes =
               if Bgl_obs.Span.enabled () then
                 Bgl_obs.Span.time ~name:"finder.cache.find" (fun () ->
-                    find_prefix_with t.grid table ~volume)
-              else find_prefix_with t.grid table ~volume
+                    find_prefix_scan t.grid table ~volume)
+              else find_prefix_scan t.grid table ~volume
             in
             Hashtbl.replace t.find_memo volume (fp, boxes);
             boxes
     in
-    if differential_enabled () then differential_check ~site:"cache.find" t.grid ~volume result;
+    if differential_armed () then differential_check ~site:"cache.find" t.grid ~volume result;
     result
 
   let exists_free t ~volume =
@@ -408,17 +519,17 @@ module Cache = struct
             r
         | _ ->
             miss t;
-            let table = table t in
+            let table = lazy_table t in
             let r =
               if Bgl_obs.Span.enabled () then
                 Bgl_obs.Span.time ~name:"finder.cache.exists_free" (fun () ->
-                    exists_free_scan table t.grid ~volume)
-              else exists_free_scan table t.grid ~volume
+                    exists_free_scan t.grid table ~volume)
+              else exists_free_scan t.grid table ~volume
             in
             Hashtbl.replace t.exists_memo volume (fp, r);
             r
     in
-    if differential_enabled () then
+    if differential_armed () then
       differential_check_exists ~site:"cache.exists_free" t.grid ~volume result;
     result
 
@@ -451,11 +562,18 @@ let find algo grid ~volume =
       | Pop -> find_pop grid ~volume
       | Shape_search -> find_shape_search grid ~volume
       | Prefix -> find_prefix grid ~volume
+      | Auto ->
+          (* Scale-selected: direct scan on supernode-scale grids (no
+             table to amortise), summed-area table above that, with
+             summary gating kicking in automatically past
+             [summary_gate_volume] inside the prefix scan. *)
+          if Grid.volume grid <= direct_volume_max then find_shape_search grid ~volume
+          else find_prefix grid ~volume
     in
     let result =
       if Bgl_obs.Span.enabled () then Bgl_obs.Span.time ~name:"finder.find" run else run ()
     in
-    if differential_enabled () && algo <> Naive then
+    if differential_armed () && algo <> Naive then
       differential_check ~site:(algo_name algo) grid ~volume result;
     result
 
@@ -469,11 +587,11 @@ let exists_free grid ~volume =
   Bgl_resilience.Budget.check ~site:"finder.exists_free";
   if volume > Grid.volume grid then false
   else
-    let run () = exists_free_scan (Prefix.build grid) grid ~volume in
+    let run () = exists_free_scan grid (lazy (Prefix.build grid)) ~volume in
     let result =
       if Bgl_obs.Span.enabled () then Bgl_obs.Span.time ~name:"finder.exists_free" run
       else run ()
     in
-    if differential_enabled () then
+    if differential_armed () then
       differential_check_exists ~site:"exists_free" grid ~volume result;
     result

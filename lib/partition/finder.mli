@@ -1,6 +1,6 @@
 (** Free-partition finders.
 
-    Four algorithms with identical observable behaviour — they return
+    Five algorithms with identical observable behaviour — they return
     the same canonical set of free boxes — but very different running
     times, matching the lineage in the paper's Appendix 9:
 
@@ -16,14 +16,19 @@
       first occupied node.
     - {!Prefix}: the shape search with a 3-D summed-area table so each
       candidate box costs O(1) (this repository's refinement; used by
-      the schedulers).
+      the schedulers). At machine volumes of 512 and above, shapes are
+      first filtered through the grid's {!Bgl_torus.Summary} so
+      infeasible shapes never pay for a base scan or a table sync.
+    - {!Auto}: scale-selected front-end — direct shape scan on
+      supernode-scale grids (volume ≤ 128), summed-area table above
+      that, summary-guided table at full machine scale.
 
     All results are canonical ({!Bgl_torus.Box.canonical}) and sorted,
     so finder outputs can be compared structurally. *)
 
 open Bgl_torus
 
-type algo = Naive | Pop | Shape_search | Prefix
+type algo = Naive | Pop | Shape_search | Prefix | Auto
 
 val all_algos : algo list
 val algo_name : algo -> string
@@ -35,6 +40,26 @@ val bases : Dims.t -> wrap:bool -> Shape.t -> Coord.t list
 
 val bases_arr : Dims.t -> wrap:bool -> Shape.t -> Coord.t array
 (** Cached array view of {!bases}; callers must not mutate it. *)
+
+val iter_bases : Dims.t -> wrap:bool -> Shape.t -> f:(int -> int -> int -> unit) -> unit
+(** [iter_bases d ~wrap s ~f] calls [f x y z] for every base of
+    {!bases}, in the same order, without materializing the set — at
+    full machine scale a shape has up to 65k bases, so the scan paths
+    iterate instead of allocating. *)
+
+val bases_cache_stats : unit -> int * int
+(** [(entries, cap)] of the calling domain's base-array cache. The
+    cache is evicted wholesale when an insertion would exceed the cap,
+    so [entries <= cap] always holds. *)
+
+val summary_gated : Grid.t -> bool
+(** Whether finder scans on this grid consult the occupancy summary
+    before enumerating bases (machine volume ≥ 512). *)
+
+val shape_possible : Grid.t -> Shape.t -> bool
+(** [false] only when the grid's {!Bgl_torus.Summary} proves no free
+    box of the shape exists; always [true] below the gating volume.
+    The fast pre-filter used by the scan paths and {!Bgl_partition.Mfp}. *)
 
 val find : algo -> Grid.t -> volume:int -> Box.t list
 (** All free partitions of exactly [volume] nodes, canonical and
@@ -58,23 +83,31 @@ val exists_free : Grid.t -> volume:int -> bool
 
 (** {1 Differential mode}
 
-    A global debug switch: while enabled, every accelerated query
-    ({!find} with a non-naive algorithm, {!find_with},
-    {!exists_free_with}, {!exists_free}, and all {!Cache} queries) is
-    cross-checked against the {!Naive} reference on the same grid, and
-    the returned boxes are independently validated (in-bounds, exact
-    volume, actually free). Any disagreement raises {!Divergence} with
-    a full grid dump. Orders of magnitude slower than the queries it
+    A global debug switch: while enabled, accelerated queries ({!find}
+    with a non-naive algorithm, {!find_with}, {!exists_free_with},
+    {!exists_free}, and all {!Cache} queries) are cross-checked
+    against an independent reference on the same grid, and the
+    returned boxes are independently validated (in-bounds, exact
+    volume, actually free). The reference is the {!Naive} enumeration
+    on supernode-scale grids (volume ≤ 128) and a freshly built,
+    summary-ungated table scan above that — an independent occupancy
+    representation exercising none of the incremental maintenance,
+    memoization or summary gating under test. Any disagreement raises
+    {!Divergence}. Orders of magnitude slower than the queries it
     guards — meant for CI smoke runs and bug hunts, never production
     sweeps. The flag is atomic and process-wide, so parallel sweep
     domains all honour it. *)
 
 exception Divergence of string
-(** Raised when an accelerated finder disagrees with the naive
-    reference. The payload is a human-readable report including both
-    result sets and an ASCII dump of the grid. *)
+(** Raised when an accelerated finder disagrees with the reference.
+    The payload is a human-readable report including both result sets
+    and (on small grids) an ASCII dump of the grid. *)
 
-val set_differential : bool -> unit
+val set_differential : ?sample:int -> bool -> unit
+(** [set_differential ~sample:n true] cross-checks every nth guarded
+    query (default 1 = every query) — sampling makes differential mode
+    affordable on full-machine runs. [sample] must be ≥ 1. *)
+
 val differential_enabled : unit -> bool
 
 (** {1 Candidate cache}
@@ -92,7 +125,9 @@ module Cache : sig
   type t
 
   val create : Grid.t -> t
-  (** Bind a cache to [grid]. Obs counters
+  (** Bind a cache to [grid]. O(1): the summed-area table is built on
+      first use, so ghost caches created for feasibility probes that
+      the summary rejects outright never pay for one. Obs counters
       ([bgl_finder_cache_hits_total], [bgl_finder_cache_misses_total],
       [bgl_prefix_updates_total{kind=...}]) are registered against the
       current {!Bgl_obs.Runtime.registry}. *)

@@ -1,27 +1,31 @@
 open Bgl_torus
 
-let search_with table grid =
+exception Found of Box.t
+
+(* The table is lazy so a search whose every shape is skipped — too
+   large for the free count, or rejected by the grid's summary — never
+   builds it; ghost-grid probes on a busy full-scale machine hit that
+   case constantly. Shape and base order are unchanged from the eager
+   scan, so the returned box is identical. *)
+let search_lazy table grid =
   if Grid.free_count grid = 0 then None
   else
     let d = Grid.dims grid in
     let wrap = Grid.wrap grid in
     let free = Grid.free_count grid in
     let first_free_in shapes =
-      Array.fold_left
-        (fun acc shape ->
-          match acc with
-          | Some _ -> acc
-          | None ->
-              Array.fold_left
-                (fun acc base ->
-                  match acc with
-                  | Some _ -> acc
-                  | None ->
-                      let box = Box.make base shape in
-                      if Prefix.box_is_free table box then Some box else None)
-                None
-                (Finder.bases_arr d ~wrap shape))
-        None shapes
+      try
+        Array.iter
+          (fun shape ->
+            if Finder.shape_possible grid shape then begin
+              let tbl = Lazy.force table in
+              Finder.iter_bases d ~wrap shape ~f:(fun x y z ->
+                  let box = Box.make (Coord.make x y z) shape in
+                  if Prefix.box_is_free tbl box then raise (Found box))
+            end)
+          shapes;
+        None
+      with Found b -> Some b
     in
     (* Levels are sorted by decreasing volume; no box larger than the
        free-node count can be free, so those levels are skipped, and
@@ -34,7 +38,8 @@ let search_with table grid =
     in
     scan_levels (Shapes.levels_desc d)
 
-let search grid = search_with (Prefix.build grid) grid
+let search_with table grid = search_lazy (Lazy.from_val table) grid
+let search grid = search_lazy (lazy (Prefix.build grid)) grid
 
 (* With a cache the search scans the cache's incrementally maintained
    table, and the result is memoised on the occupancy fingerprint via

@@ -84,3 +84,10 @@ let round_up_volume d s =
 let shapes_desc d = (catalogue d).desc
 
 let levels_desc d = (catalogue d).levels
+
+(* Rotations guarded by the machine: [Shape.rotations] enumerates all
+   axis permutations, which is only safe verbatim on a cubic torus —
+   on the real 64x32x32 machine a 1x1x64 job cannot stand up along y
+   or z. Candidate enumeration must go through this filter (or
+   [shapes_of_volume], which guards the same way). *)
+let orientations (d : Dims.t) s = List.filter (Shape.fits d) (Shape.rotations s)

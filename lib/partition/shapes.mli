@@ -30,3 +30,10 @@ val shapes_desc : Dims.t -> Shape.t list
 val levels_desc : Dims.t -> (int * Shape.t array) list
 (** The same shapes grouped by volume, volumes descending. Cached;
     callers must not mutate the arrays. *)
+
+val orientations : Dims.t -> Shape.t -> Shape.t list
+(** The axis permutations of a shape that actually fit the torus: on a
+    non-cubic machine (e.g. 64×32×32), {!Bgl_torus.Shape.rotations}
+    emits orientations with no valid placement, so candidate
+    enumeration must filter through the dimensions. Sorted, distinct;
+    may be empty when no orientation fits. *)

@@ -5,6 +5,7 @@ let make nx ny nz =
   { nx; ny; nz }
 
 let bgl = make 4 4 8
+let bgl_full = make 64 32 32
 let volume t = t.nx * t.ny * t.nz
 let max_dim t = max t.nx (max t.ny t.nz)
 let equal a b = a.nx = b.nx && a.ny = b.ny && a.nz = b.nz
@@ -12,9 +13,16 @@ let pp ppf t = Format.fprintf ppf "%dx%dx%d" t.nx t.ny t.nz
 let to_string t = Format.asprintf "%a" pp t
 
 let of_string s =
-  match String.split_on_char 'x' (String.lowercase_ascii (String.trim s)) with
+  let s = String.lowercase_ascii (String.trim s) in
+  (* Accept both "64x32x32" and "64,32,32"; mixing separators is
+     rejected by the three-way split below. *)
+  let sep = if String.contains s ',' then ',' else 'x' in
+  match String.split_on_char sep s with
   | [ a; b; c ] -> (
-      match (int_of_string_opt a, int_of_string_opt b, int_of_string_opt c) with
+      match
+        (int_of_string_opt (String.trim a), int_of_string_opt (String.trim b),
+         int_of_string_opt (String.trim c))
+      with
       | Some nx, Some ny, Some nz when nx > 0 && ny > 0 && nz > 0 -> Ok (make nx ny nz)
-      | _ -> Error (Printf.sprintf "invalid dimensions %S (expected e.g. 4x4x8)" s))
-  | _ -> Error (Printf.sprintf "invalid dimensions %S (expected e.g. 4x4x8)" s)
+      | _ -> Error (Printf.sprintf "invalid dimensions %S (expected e.g. 4x4x8 or 64,32,32)" s))
+  | _ -> Error (Printf.sprintf "invalid dimensions %S (expected e.g. 4x4x8 or 64,32,32)" s)

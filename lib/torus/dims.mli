@@ -13,6 +13,10 @@ val make : int -> int -> int -> t
 val bgl : t
 (** The 4×4×8 supernode torus of BlueGene/L. *)
 
+val bgl_full : t
+(** The full 64×32×32 node torus of BlueGene/L (65,536 compute
+    nodes) — the machine the paper's scheduling claims are about. *)
+
 val volume : t -> int
 (** Total number of supernodes, [nx * ny * nz]. *)
 
@@ -23,4 +27,4 @@ val pp : Format.formatter -> t -> unit
 val to_string : t -> string
 
 val of_string : string -> (t, string) result
-(** Parses ["4x4x8"]. *)
+(** Parses ["4x4x8"] or ["64,32,32"] (the [--dims] flag syntax). *)

@@ -1,7 +1,16 @@
+(* Occupancy lives in a bit-packed Bigarray (32 nodes per word, so a
+   full 64x32x32 machine is a 16 KB bitset the prefix rebuild streams
+   through cache-resident), owner ids in a plain side array consulted
+   only on the cold paths (vacate validation, rendering, owner
+   queries). A Summary is maintained inline so feasibility probes can
+   reject shapes without scanning either. *)
+
 type t = {
   dims : Dims.t;
   wrap : bool;
-  cells : int array;
+  occ : (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t;
+  owners : int array;
+  summary : Summary.t;
   mutable free : int;
   mutable version : int;
   mutable fingerprint : int;
@@ -23,46 +32,72 @@ let node_key node =
 
 let create ?(wrap = true) dims =
   let n = Dims.volume dims in
-  { dims; wrap; cells = Array.make n free_marker; free = n; version = 0; fingerprint = 0 }
+  let occ = Bigarray.Array1.create Bigarray.int Bigarray.c_layout ((n + 31) lsr 5) in
+  Bigarray.Array1.fill occ 0;
+  {
+    dims;
+    wrap;
+    occ;
+    owners = Array.make n free_marker;
+    summary = Summary.create dims;
+    free = n;
+    version = 0;
+    fingerprint = 0;
+  }
 
 let dims t = t.dims
 let wrap t = t.wrap
-let copy t = { t with cells = Array.copy t.cells }
+
+let copy t =
+  let occ = Bigarray.Array1.create Bigarray.int Bigarray.c_layout (Bigarray.Array1.dim t.occ) in
+  Bigarray.Array1.blit t.occ occ;
+  { t with occ; owners = Array.copy t.owners; summary = Summary.copy t.summary }
+
 let volume t = Dims.volume t.dims
 let free_count t = t.free
 let busy_count t = volume t - t.free
 let version t = t.version
 let fingerprint t = t.fingerprint
-let owner t node = if t.cells.(node) = free_marker then None else Some t.cells.(node)
-let is_free t node = t.cells.(node) = free_marker
+let summary t = t.summary
+
+let is_free t node = Bigarray.Array1.get t.occ (node lsr 5) land (1 lsl (node land 31)) = 0
+let owner t node = if is_free t node then None else Some t.owners.(node)
 
 let box_is_free t box = List.for_all (is_free t) (Box.indices t.dims box)
 
 let occupy_node t node ~owner =
   if owner < 0 && owner <> down_owner then invalid_arg "Grid.occupy_node: invalid owner id";
-  if t.cells.(node) <> free_marker then
+  let w = node lsr 5 and bit = 1 lsl (node land 31) in
+  let word = Bigarray.Array1.get t.occ w in
+  if word land bit <> 0 then
     invalid_arg
-      (Printf.sprintf "Grid.occupy_node: node %d already owned by %d" node t.cells.(node));
-  t.cells.(node) <- owner;
+      (Printf.sprintf "Grid.occupy_node: node %d already owned by %d" node t.owners.(node));
+  Bigarray.Array1.set t.occ w (word lor bit);
+  t.owners.(node) <- owner;
   t.free <- t.free - 1;
   t.version <- t.version + 1;
-  t.fingerprint <- t.fingerprint lxor node_key node
+  t.fingerprint <- t.fingerprint lxor node_key node;
+  Summary.occupy t.summary (Coord.of_index t.dims node)
 
 let vacate_node t node ~owner =
-  if t.cells.(node) <> owner then
-    invalid_arg
-      (Printf.sprintf "Grid.vacate_node: node %d owned by %d, not %d" node t.cells.(node) owner);
-  t.cells.(node) <- free_marker;
+  let w = node lsr 5 and bit = 1 lsl (node land 31) in
+  let word = Bigarray.Array1.get t.occ w in
+  let current = if word land bit = 0 then free_marker else t.owners.(node) in
+  if current <> owner then
+    invalid_arg (Printf.sprintf "Grid.vacate_node: node %d owned by %d, not %d" node current owner);
+  Bigarray.Array1.set t.occ w (word lxor bit);
+  t.owners.(node) <- free_marker;
   t.free <- t.free + 1;
   t.version <- t.version + 1;
-  t.fingerprint <- t.fingerprint lxor node_key node
+  t.fingerprint <- t.fingerprint lxor node_key node;
+  Summary.vacate t.summary (Coord.of_index t.dims node)
 
 let occupy t box ~owner =
   let idx = Box.indices t.dims box in
   (* Validate first so a failed claim leaves the grid unchanged. *)
   List.iter
     (fun node ->
-      if t.cells.(node) <> free_marker then
+      if not (is_free t node) then
         invalid_arg (Printf.sprintf "Grid.occupy: node %d already owned" node))
     idx;
   List.iter (fun node -> occupy_node t node ~owner) idx
@@ -71,13 +106,22 @@ let vacate t box ~owner =
   let idx = Box.indices t.dims box in
   List.iter
     (fun node ->
-      if t.cells.(node) <> owner then
+      if is_free t node || t.owners.(node) <> owner then
         invalid_arg (Printf.sprintf "Grid.vacate: node %d not owned by %d" node owner))
     idx;
   List.iter (fun node -> vacate_node t node ~owner) idx
 
 let iter_owned t f =
-  Array.iteri (fun node o -> if o <> free_marker then f node o) t.cells
+  let n = volume t in
+  for w = 0 to Bigarray.Array1.dim t.occ - 1 do
+    let word = Bigarray.Array1.get t.occ w in
+    if word <> 0 then begin
+      let base = w lsl 5 in
+      for b = 0 to min 31 (n - 1 - base) do
+        if word land (1 lsl b) <> 0 then f (base + b) t.owners.(base + b)
+      done
+    end
+  done
 
 let owners t =
   let tbl = Hashtbl.create 16 in
@@ -86,16 +130,17 @@ let owners t =
 
 let pp ppf t =
   let d = t.dims in
-  let glyph o =
-    if o = free_marker then '.'
-    else if o = down_owner then '!'
-    else Char.chr (Char.code 'A' + (o mod 26))
+  let glyph node =
+    if is_free t node then '.'
+    else
+      let o = t.owners.(node) in
+      if o = down_owner then '!' else Char.chr (Char.code 'A' + (o mod 26))
   in
   for z = 0 to d.nz - 1 do
     Format.fprintf ppf "z=%d@." z;
     for y = d.ny - 1 downto 0 do
       for x = 0 to d.nx - 1 do
-        Format.fprintf ppf "%c" (glyph t.cells.(Coord.index d (Coord.make x y z)))
+        Format.fprintf ppf "%c" (glyph (Coord.index d (Coord.make x y z)))
       done;
       Format.fprintf ppf "@."
     done

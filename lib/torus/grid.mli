@@ -4,7 +4,13 @@
     a job id, or a sentinel such as {!down_owner} for a node held out
     of service. The grid enforces the space-sharing constraint: a node
     can never be claimed while already owned (Section 3.3, "only one
-    job may run on a given node at a time"). *)
+    job may run on a given node at a time").
+
+    Occupancy is bit-packed (32 nodes per word), so freeness probes
+    stream through a cache-resident bitset even on the full 64×32×32
+    machine; owner ids live in a side array consulted only on cold
+    paths. A {!Summary} of slab/block free counts is maintained in
+    O(1) per mutation. *)
 
 type t
 
@@ -37,6 +43,13 @@ val fingerprint : t -> int
     equal free/occupied sets — owner ids do not contribute — and a
     probe that occupies then vacates a box restores the fingerprint
     exactly, so finder caches keyed on it survive MFP what-if probes. *)
+
+val summary : t -> Summary.t
+(** The coarse occupancy summary maintained inline by every mutation
+    (slab and block free counts). Read-only for callers: the finders
+    use {!Summary.shape_feasible} to reject shapes early on large
+    machines. Mutating the grid through anything but this module's
+    operations would desynchronise it. *)
 
 val owner : t -> int -> int option
 (** [owner t node] is [Some id] if the node (linear index) is owned. *)

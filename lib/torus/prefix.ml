@@ -34,6 +34,13 @@ type t = {
   (* cum.(i + (ex+1) * (j + (ey+1) * k)) = #occupied in [0,i) x [0,j) x [0,k) of
      the extended space. *)
   cum : int array;
+  (* Precomputed wrapped-index tables: wx.(i) = (i-1) mod nx and the
+     y/z variants pre-scaled by their linear strides, so the recompute
+     inner loop does three adds per cell instead of three mods. Entry 0
+     of each table is unused (the cum boundary plane). *)
+  wx : int array;
+  wy : int array;
+  wz : int array;
   tracking : tracking option;
 }
 
@@ -43,21 +50,21 @@ type t = {
    plane 0 of cum is all zeros and is never written). Hot path for the
    schedulers: plain index arithmetic, one occupancy read per cell. *)
 let recompute t grid ~x0 ~y0 ~z0 =
-  let d = t.dims in
   let stride_y = t.ex + 1 in
   let stride_z = stride_y * (t.ey + 1) in
   let cum = t.cum in
+  let wx = t.wx in
   for k = z0 + 1 to t.ez do
-    let zoff = d.nx * d.ny * ((k - 1) mod d.nz) in
+    let zoff = t.wz.(k) in
     let row_k = stride_z * k and row_k1 = stride_z * (k - 1) in
     for j = y0 + 1 to t.ey do
-      let yoff = zoff + (d.nx * ((j - 1) mod d.ny)) in
+      let yoff = zoff + t.wy.(j) in
       let row_kj = row_k + (stride_y * j)
       and row_kj1 = row_k + (stride_y * (j - 1))
       and row_k1j = row_k1 + (stride_y * j)
       and row_k1j1 = row_k1 + (stride_y * (j - 1)) in
       for i = x0 + 1 to t.ex do
-        let occ = if Grid.is_free grid (yoff + ((i - 1) mod d.nx)) then 0 else 1 in
+        let occ = if Grid.is_free grid (yoff + wx.(i)) then 0 else 1 in
         cum.(i + row_kj) <-
           occ
           + cum.(i - 1 + row_kj) + cum.(i + row_kj1) + cum.(i + row_k1j)
@@ -80,6 +87,9 @@ let make grid ~tracking =
       ey;
       ez;
       cum = Array.make ((ex + 1) * (ey + 1) * (ez + 1)) 0;
+      wx = Array.init (ex + 1) (fun i -> if i = 0 then 0 else (i - 1) mod d.nx);
+      wy = Array.init (ey + 1) (fun j -> if j = 0 then 0 else d.nx * ((j - 1) mod d.ny));
+      wz = Array.init (ez + 1) (fun k -> if k = 0 then 0 else d.nx * d.ny * ((k - 1) mod d.nz));
       tracking;
     }
   in

@@ -143,7 +143,7 @@ let test_pp_figure_renders () =
 (* ------------------------------------------------------------------ *)
 (* Figures: tiny-scale smoke runs with shape assertions *)
 
-let tiny = { Figures.n_jobs = 200; seeds = [ 11 ]; a_values = [ 0.; 0.5; 1. ]; fail_fracs = [ 0.; 0.5; 1. ] }
+let tiny = { Figures.n_jobs = 200; seeds = [ 11 ]; a_values = [ 0.; 0.5; 1. ]; fail_fracs = [ 0.; 0.5; 1. ]; dims = Bgl_torus.Dims.bgl }
 
 let series_values (s : Series.series) = List.map snd s.points
 
@@ -315,7 +315,7 @@ let test_baseline_backfill_wins () =
        dune exec test/test_core.exe -- test golden *)
 
 let golden_scale =
-  { Figures.n_jobs = 120; seeds = [ 11; 12 ]; a_values = [ 0.; 0.5; 1. ]; fail_fracs = [ 0.; 0.5; 1. ] }
+  { Figures.n_jobs = 120; seeds = [ 11; 12 ]; a_values = [ 0.; 0.5; 1. ]; fail_fracs = [ 0.; 0.5; 1. ]; dims = Bgl_torus.Dims.bgl }
 
 (* cwd is the build directory under [dune runtest] but the project
    root under [dune exec test/test_core.exe]; accept both. *)

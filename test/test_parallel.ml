@@ -126,7 +126,7 @@ let test_finder_cache_across_domains () =
 let test_fig3_deterministic_across_domains () =
   let scale =
     { Figures.n_jobs = 300; seeds = [ 11; 12 ]; a_values = [ 0.; 0.5; 1. ];
-      fail_fracs = [ 0.; 0.5; 1. ] }
+      fail_fracs = [ 0.; 0.5; 1. ]; dims = Bgl_torus.Dims.bgl }
   in
   let produce domains =
     Figures.clear_cache ();

@@ -230,6 +230,72 @@ let test_differential_mode_toggle () =
       check_bool "checked exists_free" true (Finder.exists_free g ~volume:64));
   check_bool "restored" false (Finder.differential_enabled ())
 
+let test_differential_sampling () =
+  Alcotest.check_raises "zero sample rejected"
+    (Invalid_argument "Finder.set_differential: sample must be >= 1") (fun () ->
+      Finder.set_differential ~sample:0 true);
+  Finder.set_differential ~sample:3 true;
+  Fun.protect
+    ~finally:(fun () -> Finder.set_differential false)
+    (fun () ->
+      check_bool "sampling counts as enabled" true (Finder.differential_enabled ());
+      (* Sampled queries must stay correct whether or not a given one
+         is the checked one. *)
+      let g = Grid.create Dims.bgl in
+      Grid.occupy g (Box.make (Coord.make 1 1 1) (Shape.make 2 2 2)) ~owner:1;
+      let cache = Finder.Cache.create g in
+      for _ = 1 to 7 do
+        Alcotest.check boxes "sampled cache query"
+          (Finder.find Finder.Naive g ~volume:8)
+          (Finder.Cache.find cache ~volume:8)
+      done);
+  check_bool "restored" false (Finder.differential_enabled ())
+
+let test_bases_cache_cap () =
+  let d = Dims.make 1 1 512 in
+  for z = 1 to 300 do
+    ignore (Finder.bases d ~wrap:false (Shape.make 1 1 z))
+  done;
+  let len, cap = Finder.bases_cache_stats () in
+  check_bool "cap positive" true (cap > 0);
+  check_bool "length within cap" true (len <= cap);
+  (* A re-request after eviction still answers correctly. *)
+  check_int "recomputed entry correct" 512 (List.length (Finder.bases d ~wrap:false (Shape.make 1 1 1)))
+
+let test_orientations_non_cubic () =
+  let d = Dims.make 2 3 4 in
+  let os = Shapes.orientations d (Shape.make 1 1 4) in
+  check_bool "all orientations fit" true (List.for_all (Shape.fits d) os);
+  check_int "only the z-aligned rotation survives" 1 (List.length os);
+  check_bool "dropped rotations not resurrected" false
+    (List.exists (fun s -> s.Shape.sx = 4 || s.Shape.sy = 4) os);
+  (* On a cube no rotation is lost. *)
+  check_int "cube keeps all three" 3
+    (List.length (Shapes.orientations (Dims.make 4 4 4) (Shape.make 1 1 4)))
+
+(* Summary gating switches on at volume >= 512; the gate must never
+   change what the finders return, only how fast they reject. *)
+let test_gated_find_agrees_at_scale () =
+  let d = Dims.make 8 8 16 in
+  let g = Grid.create d in
+  check_bool "summary gating active at 1024 nodes" true (Finder.summary_gated g);
+  (* Mostly-occupied grid keeps the naive reference affordable. *)
+  Grid.occupy g (Box.make (Coord.make 0 0 0) (Shape.make 8 8 16)) ~owner:1;
+  Grid.vacate g (Box.make (Coord.make 0 0 0) (Shape.make 2 2 2)) ~owner:1;
+  Grid.vacate g (Box.make (Coord.make 4 4 8) (Shape.make 2 2 4)) ~owner:1;
+  List.iter
+    (fun v ->
+      Alcotest.check boxes
+        (Printf.sprintf "gated prefix = naive at volume %d" v)
+        (Finder.find Finder.Naive g ~volume:v)
+        (Finder.find Finder.Prefix g ~volume:v);
+      check_bool
+        (Printf.sprintf "gated exists agrees at volume %d" v)
+        (Finder.find Finder.Naive g ~volume:v <> [])
+        (Finder.exists_free g ~volume:v))
+    [ 1; 4; 8; 16; 32 ];
+  check_int "gated MFP finds the larger pocket" 16 (Mfp.volume g)
+
 (* ------------------------------------------------------------------ *)
 (* MFP: hand-built scenarios *)
 
@@ -538,6 +604,7 @@ let () =
           tc "feasible volumes" test_feasible_volumes;
           tc "round_up_volume" test_round_up_volume;
           tc "shapes_desc order" test_shapes_desc_order;
+          tc "orientations on non-cubic dims" test_orientations_non_cubic;
         ] );
       ( "finder",
         [
@@ -549,12 +616,15 @@ let () =
           tc "find_for_size rounds up" test_find_for_size_rounds_up;
           tc "exists_free" test_exists_free;
           tc "canonical dedup" test_canonical_dedup_full_dim;
+          tc "bases cache capped" test_bases_cache_cap;
+          tc "gating never changes results" test_gated_find_agrees_at_scale;
         ] );
       ( "cache",
         [
           tc "memoisation and invalidation" test_cache_basic;
           tc "self-heals on unnoted mutation" test_cache_self_heals_unnoted;
           tc "differential mode toggle" test_differential_mode_toggle;
+          tc "differential sampling" test_differential_sampling;
         ] );
       ( "mfp",
         [

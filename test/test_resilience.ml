@@ -315,7 +315,8 @@ let test_report_json_roundtrip () =
 (* Sweep: kill-and-resume equality *)
 
 let tiny_scale =
-  { Bgl_core.Figures.n_jobs = 60; seeds = [ 7 ]; a_values = [ 0.9 ]; fail_fracs = [ 0.5 ] }
+  { Bgl_core.Figures.n_jobs = 60; seeds = [ 7 ]; a_values = [ 0.9 ]; fail_fracs = [ 0.5 ];
+    dims = Bgl_torus.Dims.bgl }
 
 let intro = Option.get (Bgl_core.Figures.by_id "intro")
 

@@ -32,6 +32,17 @@ let test_dims_string_round_trip () =
   check_bool "garbage rejected" true (Result.is_error (Dims.of_string "4x4"));
   check_bool "negative rejected" true (Result.is_error (Dims.of_string "4x-4x8"))
 
+let test_dims_comma_form () =
+  (match Dims.of_string "64,32,32" with
+  | Ok d -> check_bool "comma parse" true (Dims.equal d Dims.bgl_full)
+  | Error e -> Alcotest.fail e);
+  (match Dims.of_string " 4, 4, 8 " with
+  | Ok d -> check_bool "comma with spaces" true (Dims.equal d Dims.bgl)
+  | Error e -> Alcotest.fail e);
+  check_bool "mixed separators rejected" true (Result.is_error (Dims.of_string "4,4x8"));
+  check_bool "trailing comma rejected" true (Result.is_error (Dims.of_string "4,4,8,"));
+  check_int "bgl_full volume" 65536 (Dims.volume Dims.bgl_full)
+
 (* ------------------------------------------------------------------ *)
 (* Coord *)
 
@@ -299,6 +310,44 @@ let test_prefix_track_self_heals () =
   check_bool "matches fresh build" true (Prefix.equal t (Prefix.build g))
 
 (* ------------------------------------------------------------------ *)
+(* Summary *)
+
+let test_summary_counts () =
+  let d = Dims.make 4 4 8 in
+  let g = Grid.create d in
+  let s = Grid.summary g in
+  check_int "x slab starts full" (4 * 8) (Summary.slab_free s ~axis:`X 0);
+  check_int "z slab starts full" (4 * 4) (Summary.slab_free s ~axis:`Z 7);
+  let v0 = Summary.version s in
+  Grid.occupy g (Box.make (Coord.make 1 2 3) (Shape.make 1 1 1)) ~owner:5;
+  check_int "x slab decremented" ((4 * 8) - 1) (Summary.slab_free s ~axis:`X 1);
+  check_int "y slab decremented" ((4 * 8) - 1) (Summary.slab_free s ~axis:`Y 2);
+  check_int "z slab decremented" ((4 * 4) - 1) (Summary.slab_free s ~axis:`Z 3);
+  check_int "other slab untouched" (4 * 8) (Summary.slab_free s ~axis:`X 0);
+  check_bool "version advanced" true (Summary.version s > v0);
+  Grid.vacate g (Box.make (Coord.make 1 2 3) (Shape.make 1 1 1)) ~owner:5;
+  check_int "x slab restored" (4 * 8) (Summary.slab_free s ~axis:`X 1)
+
+let test_summary_copy_independent () =
+  let d = Dims.make 4 4 8 in
+  let g = Grid.create d in
+  let ghost = Grid.copy g in
+  Grid.occupy ghost (Box.make (Coord.make 0 0 0) (Shape.make 2 2 2)) ~owner:1;
+  check_int "original summary untouched" (4 * 8) (Summary.slab_free (Grid.summary g) ~axis:`X 0);
+  check_int "copy summary tracked" ((4 * 8) - 4)
+    (Summary.slab_free (Grid.summary ghost) ~axis:`X 0)
+
+let test_summary_full_grid_infeasible () =
+  let d = Dims.make 4 4 8 in
+  let g = Grid.create d in
+  Grid.occupy g (Box.make (Coord.make 0 0 0) (Shape.make 4 4 8)) ~owner:1;
+  check_bool "unit shape infeasible on full grid" false
+    (Summary.shape_feasible (Grid.summary g) ~wrap:true (Shape.make 1 1 1));
+  Grid.vacate g (Box.make (Coord.make 0 0 0) (Shape.make 4 4 8)) ~owner:1;
+  check_bool "whole machine feasible when empty" true
+    (Summary.shape_feasible (Grid.summary g) ~wrap:true (Shape.make 4 4 8))
+
+(* ------------------------------------------------------------------ *)
 (* Properties *)
 
 let dims_gen =
@@ -426,6 +475,37 @@ let apply_op g table (bseed, sseed) =
     Prefix.note_node table node
   end
 
+let prop_summary_feasible_necessary =
+  (* The summary may say "maybe" for a shape with no placement, but it
+     must never say "no" when a direct scan finds a free box — a false
+     rejection would make the gated finders drop real candidates. *)
+  QCheck.Test.make ~name:"summary shape_feasible is a necessary condition" ~count:300
+    QCheck.(
+      pair
+        (pair arb_dims bool)
+        (pair (small_list (int_range 0 999)) (pair (int_range 1 6) (pair (int_range 1 6) (int_range 1 6)))))
+    (fun ((d, wrap), (nodes, (sx, (sy, sz)))) ->
+      let g = Grid.create ~wrap d in
+      List.iter
+        (fun n ->
+          let n = n mod Dims.volume d in
+          if Grid.is_free g n then Grid.occupy_node g n ~owner:7)
+        nodes;
+      let s =
+        Shape.make (1 + ((sx - 1) mod d.nx)) (1 + ((sy - 1) mod d.ny)) (1 + ((sz - 1) mod d.nz))
+      in
+      let box_free b = List.for_all (Grid.is_free g) (Box.indices d b) in
+      let hi dim ext = if wrap then dim - 1 else dim - ext in
+      let exists_direct = ref false in
+      for x = 0 to hi d.nx s.Shape.sx do
+        for y = 0 to hi d.ny s.Shape.sy do
+          for z = 0 to hi d.nz s.Shape.sz do
+            if box_free (Box.make (Coord.make x y z) s) then exists_direct := true
+          done
+        done
+      done;
+      (not !exists_direct) || Summary.shape_feasible (Grid.summary g) ~wrap s)
+
 let prop_prefix_incremental_equals_rebuild =
   QCheck.Test.make ~name:"incremental prefix state = from-scratch rebuild" ~count:200
     QCheck.(
@@ -485,6 +565,7 @@ let props =
       prop_member_matches_cells;
       prop_grid_free_count;
       prop_prefix_agrees;
+      prop_summary_feasible_necessary;
       prop_prefix_incremental_equals_rebuild;
       prop_prefix_batched_notes;
       prop_fingerprint_tracks_occupancy;
@@ -499,6 +580,7 @@ let () =
           tc "make/volume" test_dims_make;
           tc "invalid" test_dims_invalid;
           tc "string round trip" test_dims_string_round_trip;
+          tc "comma form and bgl_full" test_dims_comma_form;
         ] );
       ( "coord",
         [
@@ -532,6 +614,12 @@ let () =
           tc "matches direct counts" test_prefix_matches_direct;
           tc "incremental tracking" test_prefix_track_incremental;
           tc "self-heals on unnoted changes" test_prefix_track_self_heals;
+        ] );
+      ( "summary",
+        [
+          tc "slab counts track mutations" test_summary_counts;
+          tc "copy is independent" test_summary_copy_independent;
+          tc "full grid is infeasible" test_summary_full_grid_infeasible;
         ] );
       ("properties", props);
     ]
