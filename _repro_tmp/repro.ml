@@ -1,0 +1,27 @@
+open Bgl_torus
+
+let () =
+  (* 28x8x8 torus, wrap on: volume 1792 >= 512 so finders gate on Summary. *)
+  let dims = Dims.make 28 8 8 in
+  let grid = Grid.create dims in
+  (* Occupy everything except a wrapped 14x1x1 strip at y=0,z=0, x=15..(15+13 mod 28). *)
+  let free_xs = List.init 14 (fun i -> (15 + i) mod 28) in
+  for z = 0 to 7 do
+    for y = 0 to 7 do
+      for x = 0 to 27 do
+        let is_strip = y = 0 && z = 0 && List.mem x free_xs in
+        if not is_strip then
+          Grid.occupy_node grid (Coord.index dims (Coord.make x y z)) ~owner:1
+      done
+    done
+  done;
+  let shape = Shape.make 14 1 1 in
+  let feas = Summary.shape_feasible (Grid.summary grid) ~wrap:true shape in
+  Printf.printf "shape_feasible says: %b\n" feas;
+  let table = Prefix.build grid in
+  let box = Box.make (Coord.make 15 0 0) shape in
+  Printf.printf "box actually free: %b\n" (Prefix.box_is_free table box);
+  let found = Bgl_partition.Finder.find Bgl_partition.Finder.Prefix grid ~volume:14 in
+  Printf.printf "Finder.find Prefix found %d boxes of volume 14\n" (List.length found);
+  let naive = Bgl_partition.Finder.find Bgl_partition.Finder.Naive grid ~volume:14 in
+  Printf.printf "Finder.find Naive found %d boxes of volume 14\n" (List.length naive)
