@@ -268,6 +268,50 @@ let parallel_tests () =
   in
   Bechamel.Test.make_grouped ~name:"parallel" [ map_d 1; map_d 2; map_d 4 ]
 
+(* Service-layer kernels: the fixed per-request costs bgl-served pays
+   before any simulation runs — frame codec round-trip over a
+   socketpair, request parse + fingerprint, admission handoff, memo
+   probe. End-to-end daemon latency and throughput under real load
+   are scripted, not staged (EXPERIMENTS.md "Service"). *)
+let serve_tests () =
+  let module Serve = Bgl_serve in
+  let wr, rd = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let reader = Serve.Frame.reader rd in
+  let frame_roundtrip payload =
+    Bechamel.Staged.stage (fun () ->
+        Serve.Frame.write wr payload;
+        match Serve.Frame.read reader with
+        | Ok (Some _) -> ()
+        | Ok None | Error _ -> assert false)
+  in
+  let blob = Printf.sprintf {|{"blob":%S}|} (String.make 4096 'x') in
+  let parse_fingerprint payload =
+    Bechamel.Staged.stage (fun () ->
+        match Serve.Protocol.parse payload with
+        | Ok req -> ignore (Serve.Protocol.fingerprint req)
+        | Error _ -> assert false)
+  in
+  let sim_req = {|{"op":"sim","algo":"mfp","jobs":500,"seed":11,"failures":2.0}|} in
+  let adm = Serve.Admission.create ~capacity:64 in
+  let memo = Serve.Memo.create ~capacity:64 in
+  Serve.Memo.add memo "hot" blob;
+  Bechamel.Test.make_grouped ~name:"serve"
+    [
+      Bechamel.Test.make ~name:"frame/roundtrip-ping" (frame_roundtrip {|{"op":"ping"}|});
+      Bechamel.Test.make ~name:"frame/roundtrip-4k" (frame_roundtrip blob);
+      Bechamel.Test.make ~name:"protocol/parse+fingerprint-sim" (parse_fingerprint sim_req);
+      Bechamel.Test.make ~name:"admission/submit-take-16"
+        (Bechamel.Staged.stage (fun () ->
+             for i = 0 to 15 do
+               ignore (Serve.Admission.submit adm i)
+             done;
+             for _ = 0 to 15 do
+               ignore (Serve.Admission.take adm)
+             done));
+      Bechamel.Test.make ~name:"memo/find-hit"
+        (Bechamel.Staged.stage (fun () -> ignore (Serve.Memo.find memo "hot")));
+    ]
+
 let run_micro_groups ?cfg ~banner groups =
   Format.printf "=== %s ===@." banner;
   let tests = Bechamel.Test.make_grouped ~name:"bgl" groups in
@@ -300,6 +344,7 @@ let run_micro () =
       event_queue_tests ();
       obs_tests ();
       parallel_tests ();
+      serve_tests ();
     ]
 
 (* The scaling group keeps tens of megabytes of grid state live, so
@@ -382,6 +427,8 @@ let () =
       run_ablations ~domains (scale_of_args args) None
   | [ "micro" ] -> run_micro ()
   | [ "scale" ] -> run_scale_micro ()
+  | [ "serve" ] ->
+      run_micro_groups ~banner:"micro: bgl-served request-path kernels" [ serve_tests () ]
   | [ "figs" ] -> run_figs ~domains (scale_of_args args)
   | [ "fig"; id ] -> run_one_fig ~domains (scale_of_args args) id
   | [ "ablate" ] -> run_ablations ~domains (scale_of_args args) None
@@ -389,7 +436,7 @@ let () =
   | [ "baseline" ] -> run_baseline ~domains (scale_of_args args)
   | _ ->
       Format.eprintf
-        "usage: main.exe [all|micro|scale|figs|fig <id>|ablate [<id>]|baseline] [--full] [--jobs \
+        "usage: main.exe [all|micro|scale|serve|figs|fig <id>|ablate [<id>]|baseline] [--full] [--jobs \
          N]@.";
       exit 1);
   Format.printf "total wall time: %.1f s@." (Unix.gettimeofday () -. t0)

@@ -17,38 +17,7 @@ let profile_conv =
   Arg.conv (parse, fun ppf (p : Bgl_workload.Profile.t) -> Format.pp_print_string ppf p.name)
 
 let algo_conv =
-  let parse s =
-    let s = String.lowercase_ascii s in
-    let param prefix =
-      let plen = String.length prefix in
-      if String.length s > plen && String.sub s 0 plen = prefix then
-        float_of_string_opt (String.sub s plen (String.length s - plen))
-      else None
-    in
-    match s with
-    | "first-fit" -> Ok Bgl_core.Scenario.First_fit
-    | "random" -> Ok Bgl_core.Scenario.Random_fit
-    | "safest" -> Ok Bgl_core.Scenario.Safest
-    | "mfp" | "oblivious" | "fault-oblivious" -> Ok Bgl_core.Scenario.Fault_oblivious
-    | _ -> (
-        match param "balancing:" with
-        | Some confidence -> Ok (Bgl_core.Scenario.Balancing { confidence })
-        | None -> (
-            match param "tie-breaking:" with
-            | Some accuracy -> Ok (Bgl_core.Scenario.Tie_breaking { accuracy })
-            | None -> (
-                match param "history:" with
-                | Some half_life_hours ->
-                    Ok
-                      (Bgl_core.Scenario.Balancing_history
-                         { half_life = half_life_hours *. 3600.; threshold = 0.5 })
-                | None ->
-                    Error
-                      (`Msg
-                         (Printf.sprintf
-                            "unknown algorithm %S (first-fit, random, mfp, safest, balancing:<a>, \
-                             tie-breaking:<a>, history:<half-life-hours>)" s)))))
-  in
+  let parse s = Result.map_error (fun m -> `Msg m) (Bgl_core.Scenario.algo_of_string s) in
   Arg.conv (parse, fun ppf a -> Format.pp_print_string ppf (Bgl_core.Scenario.algo_label a))
 
 let profile =

@@ -61,6 +61,38 @@ let algo_label = function
   | Tie_breaking_history { half_life; threshold } ->
       Printf.sprintf "tie-breaking-history(hl=%g,th=%g)" half_life threshold
 
+(* One parser for every textual algorithm spec (bgl-sim's --algo, the
+   service protocol's "algo" field), so the two front-ends can never
+   drift apart. *)
+let algo_of_string s =
+  let s = String.lowercase_ascii (String.trim s) in
+  let param prefix =
+    let plen = String.length prefix in
+    if String.length s > plen && String.sub s 0 plen = prefix then
+      float_of_string_opt (String.sub s plen (String.length s - plen))
+    else None
+  in
+  match s with
+  | "first-fit" -> Ok First_fit
+  | "random" | "random-fit" -> Ok Random_fit
+  | "safest" -> Ok Safest
+  | "mfp" | "oblivious" | "fault-oblivious" -> Ok Fault_oblivious
+  | _ -> (
+      match param "balancing:" with
+      | Some confidence -> Ok (Balancing { confidence })
+      | None -> (
+          match param "tie-breaking:" with
+          | Some accuracy -> Ok (Tie_breaking { accuracy })
+          | None -> (
+              match param "history:" with
+              | Some half_life_hours ->
+                  Ok (Balancing_history { half_life = half_life_hours *. 3600.; threshold = 0.5 })
+              | None ->
+                  Error
+                    (Printf.sprintf
+                       "unknown algorithm %S (first-fit, random, mfp, safest, balancing:<a>, \
+                        tie-breaking:<a>, history:<half-life-hours>)" s))))
+
 let label t =
   let combine = match t.combine with `Product -> "prod" | `Max -> "max" in
   (* The config is plain data, so a structural digest distinguishes
@@ -87,25 +119,19 @@ let subseed t label =
   let master = Bgl_stats.Rng.create ~seed:t.seed in
   Int64.to_int (Int64.shift_right_logical (Bgl_stats.Rng.bits64 (Bgl_stats.Rng.split master ~label)) 2)
 
-let run t =
+let synthetic_failures ~log t =
   let volume = Bgl_torus.Dims.volume t.config.dims in
-  let log =
-    Bgl_workload.Synthetic.generate
-      { profile = t.profile; n_jobs = t.n_jobs; max_nodes = volume; seed = subseed t "workload" }
-  in
-  let log = Bgl_trace.Job_log.scale_runtime log ~c:t.load in
   let n_events = injected_failures t in
-  let failures =
-    if n_events = 0 then Bgl_trace.Failure_log.make ~name:"no-failures" []
-    else
-      (* Cover the whole simulated makespan, which can overrun the log
-         span under load: failures keep arriving while the backlog
-         drains. *)
-      let span = Bgl_trace.Job_log.span log *. 1.5 in
-      Bgl_failure.Generator.generate
-        (t.failure_spec_of ~span ~volume ~n_events ~seed:(subseed t "failures"))
-  in
-  let index = Bgl_predict.Failure_index.of_log failures in
+  if n_events = 0 then Bgl_trace.Failure_log.make ~name:"no-failures" []
+  else
+    (* Cover the whole simulated makespan, which can overrun the log
+       span under load: failures keep arriving while the backlog
+       drains. *)
+    let span = Bgl_trace.Job_log.span log *. 1.5 in
+    Bgl_failure.Generator.generate
+      (t.failure_spec_of ~span ~volume ~n_events ~seed:(subseed t "failures"))
+
+let placement t ~index =
   let predictor_seed = subseed t "predictor" in
   let policy =
     match t.algo with
@@ -135,9 +161,27 @@ let run t =
         in
         Bgl_sched.Placement.tie_breaking ~predictor ()
   in
+  policy
+
+let run_on ?(run_tag = "") ~log ~failures t =
+  let log = Bgl_trace.Job_log.scale_runtime log ~c:t.load in
+  let index = Bgl_predict.Failure_index.of_log failures in
+  let policy = placement t ~index in
   (* The trace run id is the scenario-label digest — the same key the
      sweep journal files cells under, so trace sections and journal
-     records cross-reference directly. *)
+     records cross-reference directly. Payload-driven runs extend the
+     label with [run_tag] (the request fingerprint): the label alone
+     does not capture inline log contents, and two requests differing
+     only in payload must not share a run id. *)
   Bgl_sim.Engine.run ~config:t.config ~policy ~log ~failures
-    ~run_id:(Digest.to_hex (Digest.string (label t)))
+    ~run_id:(Digest.to_hex (Digest.string (label t ^ run_tag)))
     ~seed:t.seed ()
+
+let run t =
+  let volume = Bgl_torus.Dims.volume t.config.dims in
+  let log =
+    Bgl_workload.Synthetic.generate
+      { profile = t.profile; n_jobs = t.n_jobs; max_nodes = volume; seed = subseed t "workload" }
+  in
+  let failures = synthetic_failures ~log:(Bgl_trace.Job_log.scale_runtime log ~c:t.load) t in
+  run_on ~log ~failures t

@@ -70,6 +70,13 @@ val injected_failures : t -> int
 (** The failure count actually injected after job-count scaling. *)
 
 val algo_label : algo -> string
+
+val algo_of_string : string -> (algo, string) result
+(** Parse a textual algorithm spec — ["first-fit"], ["random"],
+    ["mfp"], ["safest"], ["balancing:<a>"], ["tie-breaking:<a>"],
+    ["history:<half-life-hours>"] — the one parser behind bgl-sim's
+    [--algo] and the service protocol's ["algo"] field. *)
+
 val label : t -> string
 
 val run : t -> Bgl_sim.Engine.outcome
@@ -80,3 +87,22 @@ val run : t -> Bgl_sim.Engine.outcome
     domain, with identical results. Scenarios differing only in
     [algo] see the same workload and failure trace (paired
     comparisons). *)
+
+val run_on :
+  ?run_tag:string ->
+  log:Bgl_trace.Job_log.t ->
+  failures:Bgl_trace.Failure_log.t ->
+  t ->
+  Bgl_sim.Engine.outcome
+(** Run the scenario's algorithm/config on an explicit workload and
+    failure trace (an SWF payload, a replayed archive log) instead of
+    the synthetic generators. The log's runtimes are scaled by the
+    scenario's load coefficient first; the predictor draws from the
+    scenario's own stream as in {!run}. [run_tag] (e.g. a request
+    fingerprint) is folded into the trace run id, which otherwise
+    could not distinguish two payloads under one scenario label. *)
+
+val synthetic_failures : log:Bgl_trace.Job_log.t -> t -> Bgl_trace.Failure_log.t
+(** The failure trace {!run} would inject for this scenario over
+    [log]'s span (already load-scaled) — for callers pairing an
+    explicit workload with the scenario's synthetic failures. *)

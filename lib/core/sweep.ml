@@ -44,7 +44,7 @@ let restore entries cells =
   in
   (remaining, !bad)
 
-let run ?(policy = Supervise.default) ?(journal = No_journal) ~domains f scale =
+let run ?(policy = Supervise.default) ?(journal = No_journal) ?pool ?on_cell ~domains f scale =
   (* Resumed runs advertise the journal they continue in every trace
      header, so an auditor can tie the stitched halves together. *)
   (match journal with
@@ -88,7 +88,7 @@ let run ?(policy = Supervise.default) ?(journal = No_journal) ~domains f scale =
           let journal_mutex = Mutex.create () in
           let journal_error = ref None in
           let on_complete i (report : Bgl_sim.Metrics.report) =
-            match writer with
+            (match writer with
             | None -> ()
             | Some w ->
                 Mutex.lock journal_mutex;
@@ -103,13 +103,18 @@ let run ?(policy = Supervise.default) ?(journal = No_journal) ~domains f scale =
                               ("label", Bgl_obs.Jsonl.string (Scenario.label remaining.(i)));
                               ("report", Bgl_sim.Metrics.report_to_json report);
                             ]
-                      with e -> journal_error := Some (Error.of_exn e))
+                      with e -> journal_error := Some (Error.of_exn e)));
+            (* Progress streaming (the service's per-cell frames) runs
+               after the cell is durably journaled, from whichever
+               domain completed it — same contract as [on_complete]. *)
+            match on_cell with None -> () | Some g -> g remaining.(i) report
           in
-          match
-            Bgl_parallel.Pool.map_supervised ~policy ~on_complete ~domains
-              (fun s -> (Scenario.run s).report)
-              remaining
-          with
+          let map_cells g items =
+            match pool with
+            | Some p -> Bgl_parallel.Pool.Persistent.map_supervised p ~policy ~on_complete g items
+            | None -> Bgl_parallel.Pool.map_supervised ~policy ~on_complete ~domains g items
+          in
+          match map_cells (fun s -> (Scenario.run s).report) remaining with
           | exception e ->
               finish ();
               Error (Error.of_exn e)

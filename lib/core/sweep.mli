@@ -49,13 +49,22 @@ val fingerprint : Scenario.t -> string
 val run :
   ?policy:Bgl_resilience.Supervise.policy ->
   ?journal:journal_mode ->
+  ?pool:Bgl_parallel.Pool.Persistent.t ->
+  ?on_cell:(Scenario.t -> Bgl_sim.Metrics.report -> unit) ->
   domains:int ->
   (Figures.scale -> Series.figure list) ->
   Figures.scale ->
   (outcome, Bgl_resilience.Error.t) result
 (** [Error] covers journal I/O failures (unreadable resume file,
     failed append); cell failures are never an [Error] — they come
-    back as [quarantined]. *)
+    back as [quarantined].
+
+    [pool] shards the cells across a persistent domain pool instead of
+    spawning domains for this sweep ([domains] is then ignored for
+    execution) — the service's steady-state path. [on_cell] is invoked
+    for every cell right after it completes and is journaled, from
+    whichever domain ran it (must be domain-safe and must not raise) —
+    the hook for streaming per-cell progress to a client. *)
 
 val degraded_error : outcome -> Bgl_resilience.Error.t option
 (** [Some (Degraded ...)] naming the quarantined cells when the sweep

@@ -9,6 +9,7 @@ type t = {
   mutable nbeats : int;
   mutable last_wall : float;
   mutable last_events : int;
+  mutable last_snapshot : snapshot option;
 }
 
 let create ?(out = Format.err_formatter) ?(clock = Unix.gettimeofday) ~every () =
@@ -22,6 +23,7 @@ let create ?(out = Format.err_formatter) ?(clock = Unix.gettimeofday) ~every () 
     nbeats = 0;
     last_wall = clock ();
     last_events = 0;
+    last_snapshot = None;
   }
 
 let tick t snapshot =
@@ -37,9 +39,11 @@ let tick t snapshot =
         t.last_wall <- wall;
         t.last_events <- t.events;
         t.nbeats <- t.nbeats + 1;
+        t.last_snapshot <- Some s;
         Format.fprintf t.out "[obs] events=%d sim_t=%.1f queue=%d running=%d free=%d ev/s=%.0f@."
           t.events s.sim_time s.queue_depth s.running s.free_nodes rate
       end)
 
 let ticks t = t.events
 let beats t = t.nbeats
+let last t = Mutex.protect t.m (fun () -> t.last_snapshot)

@@ -24,3 +24,8 @@ val ticks : t -> int
 
 val beats : t -> int
 (** Lines printed so far. *)
+
+val last : t -> snapshot option
+(** The snapshot forced on the most recent beat — the engine state a
+    health endpoint can report without touching the engine itself.
+    [None] before the first beat. *)

@@ -60,3 +60,42 @@ val map_supervised :
 val recommended : unit -> int
 (** [Domain.recommended_domain_count ()] — a sensible default for a
     [--jobs] flag's auto mode. *)
+
+(** A pool whose worker domains are spawned once and reused across
+    batches — the substrate for a long-running service, where spawning
+    domains per request would dominate small-request latency.
+
+    A batch is executed exactly like {!map_supervised}'s (shared
+    atomic-cursor claiming, supervised cells, per-batch observability
+    snapshot propagation), so the results are bit-identical to the
+    spawning pool for the same policy and items. One batch runs at a
+    time; concurrent submitters queue on the batch slot. *)
+module Persistent : sig
+  type t
+
+  val create : domains:int -> t
+  (** Spawn [domains - 1] worker domains (the submitting thread
+      participates in every batch, so total parallelism is [domains];
+      with [domains = 1] no domain is spawned and batches run
+      inline).
+      @raise Invalid_argument if [domains < 1]. *)
+
+  val size : t -> int
+  (** The [domains] the pool was created with. *)
+
+  val map_supervised :
+    t ->
+    ?policy:Bgl_resilience.Supervise.policy ->
+    ?on_complete:(int -> 'b -> unit) ->
+    ('a -> 'b) ->
+    'a array ->
+    'b Bgl_resilience.Supervise.outcome array * Bgl_resilience.Supervise.degradation
+  (** {!map_supervised} on the persistent workers. Blocks until the
+      whole batch completes; [on_complete] has the same contract as
+      the spawning pool's (domain-safe, must not raise).
+      @raise Invalid_argument if the pool has been {!shutdown}. *)
+
+  val shutdown : t -> unit
+  (** Stop the workers and join them. Idempotent; submitting to a
+      shut-down pool raises [Invalid_argument]. *)
+end

@@ -34,10 +34,20 @@ let of_exn = function
       Io { path = site; detail = Printf.sprintf "injected fault (visit %d)" visit }
   | Budget.Budget_exceeded { site; detail } ->
       Degraded { quarantined = []; detail = Printf.sprintf "budget exceeded at %s: %s" site detail }
+  | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), fn, _) ->
+      Io { path = fn; detail = "peer closed the connection (broken pipe)" }
   | Sys_error msg -> Io { path = "<sys>"; detail = msg }
   | e -> Internal (Printexc.to_string e)
 
+(* With SIGPIPE at its default disposition, a reader that goes away
+   mid-stream (bgl-sim | head, a disconnecting bgl-served client)
+   kills the whole process with an unhandled signal. Ignoring it turns
+   the write into EPIPE — Sys_error on channels, Unix_error on raw
+   fds — which [of_exn] maps to a clean Io exit (74). *)
+let ignore_sigpipe () = if not Sys.win32 then Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+
 let run ~prog f =
+  ignore_sigpipe ();
   let report e =
     Format.eprintf "%s: %a@." prog pp e;
     exit_code e

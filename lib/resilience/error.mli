@@ -39,10 +39,19 @@ val to_string : t -> string
 
 val of_exn : exn -> t
 (** Map the resilience exceptions ({!Failpoint.Injected},
-    {!Budget.Budget_exceeded}) and [Sys_error] to structured errors;
-    anything else becomes [Internal]. *)
+    {!Budget.Budget_exceeded}), [Sys_error], and disconnected-peer
+    I/O ([EPIPE]/[ECONNRESET]) to structured errors; anything else
+    becomes [Internal]. *)
+
+val ignore_sigpipe : unit -> unit
+(** Set SIGPIPE to ignored (no-op on Windows), so a reader that goes
+    away mid-stream ([bgl-sim | head], a disconnecting service client)
+    surfaces as an [EPIPE] write error instead of killing the process
+    with an unhandled signal. {!run} installs this for every CLI. *)
 
 val run : prog:string -> (unit -> (int, t) result) -> int
 (** Evaluate the tool body: [Ok code] passes through; [Error e] (or a
     raised exception, via {!of_exn}) prints ["<prog>: <error>"] to
-    stderr and returns {!exit_code}. Never raises. *)
+    stderr and returns {!exit_code}. Never raises. SIGPIPE is ignored
+    for the process ({!ignore_sigpipe}), and [EPIPE]/[ECONNRESET] map
+    to a clean exit 74. *)

@@ -34,7 +34,14 @@ val load : path:string -> (entry list * int, string) result
 (** Read a journal tolerantly: entries in file order plus the number
     of dropped lines (truncated tail from a crash, corrupt bytes,
     records without a ["cell"] key). [Error] only if the file cannot
-    be read at all. *)
+    be read at all.
+
+    The reader tolerates a {e concurrent appender}: loading while a
+    {!writer} still holds the file open ([O_APPEND] semantics — the
+    server's resume scan against a live journal) sees every record
+    whose [write] completed before the load, and at most one torn
+    in-flight line, which is dropped like a crash tail. It never
+    fails or mis-parses because of the concurrent writer. *)
 
 val load_string : string -> entry list * int
 (** {!load} on in-memory bytes; never raises. *)

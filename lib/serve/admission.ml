@@ -1,0 +1,53 @@
+type 'a t = {
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  items : 'a Queue.t;
+  capacity : int;
+  mutable draining : bool;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Admission.create: capacity must be >= 1";
+  {
+    lock = Mutex.create ();
+    nonempty = Condition.create ();
+    items = Queue.create ();
+    capacity;
+    draining = false;
+  }
+
+type 'a submitted = Admitted of int | Full of int | Draining
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let submit t x =
+  locked t (fun () ->
+      if t.draining then Draining
+      else if Queue.length t.items >= t.capacity then Full (Queue.length t.items)
+      else begin
+        Queue.add x t.items;
+        Condition.signal t.nonempty;
+        Admitted (Queue.length t.items)
+      end)
+
+let take t =
+  locked t (fun () ->
+      let rec wait () =
+        if not (Queue.is_empty t.items) then Some (Queue.take t.items)
+        else if t.draining then None
+        else begin
+          Condition.wait t.nonempty t.lock;
+          wait ()
+        end
+      in
+      wait ())
+
+let drain t =
+  locked t (fun () ->
+      t.draining <- true;
+      Condition.broadcast t.nonempty)
+
+let depth t = locked t (fun () -> Queue.length t.items)
+let capacity t = t.capacity

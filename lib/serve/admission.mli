@@ -1,0 +1,39 @@
+(** Bounded admission queue with explicit backpressure.
+
+    The accept-side threads {!submit} work items; the single executor
+    thread {!take}s them. The queue never grows past its capacity:
+    when it is full, {!submit} answers [Full] immediately and the
+    connection layer sends the client a [rejected] frame with a
+    [retry_after] hint — the server never buffers unboundedly, and
+    never blocks the accept loop on the executor.
+
+    Draining ({!drain}) flips the queue into shutdown mode: further
+    submissions answer [Draining], and {!take} returns the remaining
+    items then [None] — the SIGTERM path finishes admitted work and
+    stops. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument if [capacity < 1]. *)
+
+type 'a submitted =
+  | Admitted of int  (** queue depth after insertion *)
+  | Full of int  (** queue depth (= capacity); retry later *)
+  | Draining  (** server is shutting down; go elsewhere *)
+
+val submit : 'a t -> 'a -> 'a submitted
+(** Never blocks. *)
+
+val take : 'a t -> 'a option
+(** Block until an item is available ([Some]) or the queue is draining
+    {e and} empty ([None], terminal). Single-consumer by convention;
+    multiple consumers are safe but see items in unspecified order. *)
+
+val drain : 'a t -> unit
+(** Idempotent. Wakes any blocked {!take}. *)
+
+val depth : 'a t -> int
+(** Items admitted and not yet taken (advisory — racy by nature). *)
+
+val capacity : 'a t -> int

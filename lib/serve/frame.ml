@@ -1,0 +1,99 @@
+let max_frame = 16 * 1024 * 1024
+
+let rec write_all fd s off len =
+  if len > 0 then begin
+    let n = Unix.write_substring fd s off len in
+    write_all fd s (off + n) (len - n)
+  end
+
+let write fd payload =
+  Bgl_resilience.Failpoint.hit "serve.write";
+  let header = string_of_int (String.length payload) ^ "\n" in
+  (* One write per frame keeps frames atomic enough for a local socket
+     reader; correctness never depends on it (the reader buffers). *)
+  let frame = header ^ payload ^ "\n" in
+  write_all fd frame 0 (String.length frame)
+
+type reader = {
+  fd : Unix.file_descr;
+  chunk : Bytes.t;
+  mutable buf : string;  (** bytes received, not yet consumed *)
+  mutable pos : int;  (** consumption offset into [buf] *)
+}
+
+let reader fd = { fd; chunk = Bytes.create 65536; buf = ""; pos = 0 }
+
+let refill r =
+  if r.pos > 0 then begin
+    r.buf <- String.sub r.buf r.pos (String.length r.buf - r.pos);
+    r.pos <- 0
+  end;
+  let n = Unix.read r.fd r.chunk 0 (Bytes.length r.chunk) in
+  if n > 0 then r.buf <- r.buf ^ Bytes.sub_string r.chunk 0 n;
+  n > 0
+
+(* Next newline-terminated line, or [None] at EOF before any byte of
+   one. EOF after a partial line is a framing error (truncated). *)
+let rec read_line r =
+  match String.index_from_opt r.buf r.pos '\n' with
+  | Some nl ->
+      let line = String.sub r.buf r.pos (nl - r.pos) in
+      r.pos <- nl + 1;
+      Ok (Some line)
+  | None ->
+      if refill r then read_line r
+      else if r.pos >= String.length r.buf then Ok None
+      else Error "stream truncated inside a frame header"
+
+let rec read_exact r len =
+  if String.length r.buf - r.pos >= len then begin
+    let payload = String.sub r.buf r.pos len in
+    r.pos <- r.pos + len;
+    Ok payload
+  end
+  else if refill r then read_exact r len
+  else Error "stream truncated inside a frame payload"
+
+let is_digits s = s <> "" && String.for_all (fun c -> c >= '0' && c <= '9') s
+
+let rec read r =
+  Bgl_resilience.Failpoint.hit "serve.frame";
+  match read_line r with
+  | Error _ as e -> e
+  | Ok None -> Ok None
+  | Ok (Some line) ->
+      let line =
+        (* Tolerate CRLF from interactive clients. *)
+        if String.length line > 0 && line.[String.length line - 1] = '\r' then
+          String.sub line 0 (String.length line - 1)
+        else line
+      in
+      if line = "" then read r
+      else if String.length line > 0 && (line.[0] = '{' || line.[0] = '[') then
+        (* Bare JSON line: a human on [nc] typed a payload without a
+           length prefix. *)
+        Ok (Some line)
+      else if is_digits line then begin
+        match int_of_string_opt line with
+        | Some len when len <= max_frame -> (
+            match read_exact r len with
+            | Error _ as e -> e
+            | Ok payload -> (
+                (* Consume the frame's trailing newline (tolerating
+                   CRLF and a missing terminator at EOF). *)
+                match read_line r with
+                | Ok (Some ("" | "\r")) | Ok None -> Ok (Some payload)
+                | Ok (Some junk) ->
+                    Error
+                      (Printf.sprintf "expected frame terminator, got %S"
+                         (String.sub junk 0 (min 32 (String.length junk))))
+                | Error _ as e -> e))
+        | _ ->
+            Error
+              (Printf.sprintf "frame length %s exceeds the %d-byte limit" line
+                 max_frame)
+      end
+      else
+        Error
+          (Printf.sprintf "malformed frame header %S"
+             (String.sub line 0 (min 32 (String.length line))))

@@ -1,0 +1,43 @@
+(** Length-prefixed JSONL framing over a file descriptor.
+
+    Wire format, writer side: one frame is the decimal byte length of
+    the payload, a newline, the payload (one JSON document, no
+    newlines required), and a trailing newline:
+
+    {v 14\n{"op":"ping"}\n v}
+
+    The length prefix lets the reader pass arbitrary payloads (inline
+    SWF logs contain newlines once unescaped — the JSON itself never
+    does, but the prefix makes the framing independent of that) and
+    reject oversized frames before buffering them. For hand-driven
+    sessions ([nc -U]), the reader also accepts a {e bare} JSON line —
+    a line starting with ['{'] is taken as a whole payload — so a
+    human can type requests without counting bytes.
+
+    Failpoint site: ["serve.frame"] (in {!read}, before decoding) and
+    ["serve.write"] (in {!write}, before the write) — the codec's
+    failure paths are deterministically testable. *)
+
+val max_frame : int
+(** Upper bound on a payload's byte length (16 MiB); longer frames are
+    a framing error, never an allocation. *)
+
+val write : Unix.file_descr -> string -> unit
+(** Write one frame. Raises [Unix.Unix_error] on I/O failure (EPIPE
+    when the peer vanished; EAGAIN when a send timeout set on the
+    socket expired) and {!Bgl_resilience.Failpoint.Injected} from the
+    ["serve.write"] site. *)
+
+type reader
+
+val reader : Unix.file_descr -> reader
+(** A buffered frame reader. The descriptor is still owned by the
+    caller (close it yourself). *)
+
+val read : reader -> (string option, string) result
+(** Next frame payload. [Ok None] is clean end-of-stream at a frame
+    boundary; [Error] is a framing violation (junk header, oversized
+    length, stream truncated inside a frame) — the stream cannot be
+    resynchronised after it. Blank lines between frames are
+    tolerated. Raises [Unix.Unix_error] on I/O failure and
+    {!Bgl_resilience.Failpoint.Injected} from ["serve.frame"]. *)

@@ -1,0 +1,66 @@
+type t = { dir : string }
+
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | fd ->
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
+  | exception Unix.Unix_error _ -> ()
+
+let create ~dir =
+  (try Unix.mkdir dir 0o755
+   with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  { dir }
+
+let dir t = t.dir
+
+let path t name = Filename.concat t.dir name
+
+let atomic_write t name contents =
+  let tmp = path t (name ^ ".tmp") in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      let rec loop off len =
+        if len > 0 then begin
+          let n = Unix.write_substring fd contents off len in
+          loop (off + n) (len - n)
+        end
+      in
+      loop 0 (String.length contents);
+      Unix.fsync fd);
+  Unix.rename tmp (path t name);
+  fsync_dir t.dir
+
+let read_file p =
+  let ic = open_in_bin p in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let record_request t ~fp ~payload = atomic_write t (fp ^ ".req") payload
+let record_result t ~fp ~frame = atomic_write t (fp ^ ".result") frame
+
+let result t ~fp =
+  let p = path t (fp ^ ".result") in
+  if Sys.file_exists p then Some (read_file p) else None
+
+let journal_path t ~fp = path t (fp ^ ".journal")
+let journal_exists t ~fp = Sys.file_exists (journal_path t ~fp)
+
+let remove t ~fp =
+  List.iter
+    (fun name ->
+      try Sys.remove (path t name) with Sys_error _ -> ())
+    [ fp ^ ".req"; fp ^ ".journal" ]
+
+let pending t =
+  Sys.readdir t.dir |> Array.to_list
+  |> List.filter_map (fun name ->
+         match Filename.chop_suffix_opt ~suffix:".req" name with
+         | None -> None
+         | Some fp ->
+             if Sys.file_exists (path t (fp ^ ".result")) then None
+             else Some (fp, read_file (path t name)))

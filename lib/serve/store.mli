@@ -1,0 +1,49 @@
+(** Durable request store — the server's crash-safety ladder.
+
+    One directory holds, per request fingerprint [fp]:
+
+    - [fp.req] — the raw request payload, fsync'd {e before} the
+      [accepted] frame is sent (an acknowledged request survives
+      SIGKILL);
+    - [fp.journal] — the request's {!Bgl_core.Sweep} cell journal,
+      appended by the sweep machinery as cells complete;
+    - [fp.result] — the final result frame bytes, fsync'd at
+      completion. Its presence marks the request done; a restarted
+      server replays these bytes verbatim for a duplicate request —
+      byte-identical, because result frames are deterministic in the
+      request.
+
+    Startup recovery ({!pending}) is the list of [.req] files without
+    a [.result]: the work the previous process acknowledged but never
+    finished. Re-executing such a request resumes its journal, so
+    completed cells are replayed, not re-simulated, and the stitched
+    trace attempts audit clean.
+
+    All writes are atomic (tmp + fsync + rename + directory fsync):
+    a crash leaves either the old state or the new, never a torn
+    file. *)
+
+type t
+
+val create : dir:string -> t
+(** Creates [dir] (one level) if missing. *)
+
+val dir : t -> string
+
+val record_request : t -> fp:string -> payload:string -> unit
+val record_result : t -> fp:string -> frame:string -> unit
+
+val result : t -> fp:string -> string option
+(** The stored result frame, if the request already completed. *)
+
+val journal_path : t -> fp:string -> string
+
+val journal_exists : t -> fp:string -> bool
+
+val remove : t -> fp:string -> unit
+(** Forget a request (degraded outcome: nothing worth replaying).
+    Removes [.req] and [.journal]; idempotent. *)
+
+val pending : t -> (string * string) list
+(** [(fp, payload)] for every acknowledged-but-unfinished request, in
+    unspecified order. *)

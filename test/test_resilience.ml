@@ -44,6 +44,16 @@ let test_error_of_exn () =
   | Internal _ -> ()
   | e -> Alcotest.failf "unknown exn should map to Internal, got %s" (Error.to_string e)
 
+let test_error_broken_pipe () =
+  (* A vanished peer (broken pipe / reset) is an I/O error with exit
+     code 74 in every CLI, not an unexplained Internal crash. *)
+  (match Error.of_exn (Unix.Unix_error (Unix.EPIPE, "write", "")) with
+  | Io _ as e -> check_int "EPIPE code" 74 (Error.exit_code e)
+  | e -> Alcotest.failf "EPIPE should map to Io, got %s" (Error.to_string e));
+  match Error.of_exn (Unix.Unix_error (Unix.ECONNRESET, "read", "")) with
+  | Io _ as e -> check_int "ECONNRESET code" 74 (Error.exit_code e)
+  | e -> Alcotest.failf "ECONNRESET should map to Io, got %s" (Error.to_string e)
+
 let test_error_run_catches () =
   (* run never raises; stderr goes to the real stderr, which alcotest
      tolerates. *)
@@ -294,6 +304,35 @@ let test_journal_failpoints () =
   | _ -> Alcotest.fail "journal unreadable");
   Sys.remove path
 
+let test_journal_concurrent_appender () =
+  (* The reader must tolerate a live appender on the same file: under
+     O_APPEND semantics a concurrent load sees a prefix of whole
+     records plus at most one torn in-flight line, which is dropped
+     exactly like a crash tail — never mis-parsed, never fatal. *)
+  let path = temp_path "bgl_test_journal_live.jsonl" in
+  let w = Journal.create ~path in
+  Journal.append w ~key:"k0" ~fields:[ ("x", Bgl_obs.Jsonl.int 0) ];
+  Journal.append w ~key:"k1" ~fields:[ ("x", Bgl_obs.Jsonl.int 1) ];
+  (* simulate the appender caught mid-record: a torn, unterminated line *)
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND ] 0o644 in
+  let torn = {|{"cell":"k2","x":|} in
+  ignore (Unix.write_substring fd torn 0 (String.length torn));
+  (match Journal.load ~path with
+  | Ok (entries, dropped) ->
+      check_int "whole records visible" 2 (List.length entries);
+      check_int "torn tail dropped" 1 dropped
+  | Error e -> Alcotest.failf "load failed under a live appender: %s" e);
+  (* the appender finishes its record: a later load sees everything *)
+  let rest = {|2}|} ^ "\n" in
+  ignore (Unix.write_substring fd rest 0 (String.length rest));
+  Unix.close fd;
+  (match Journal.load ~path with
+  | Ok (entries, 0) -> check_int "completed record visible" 3 (List.length entries)
+  | Ok (_, d) -> Alcotest.failf "unexpected drops after completion: %d" d
+  | Error e -> Alcotest.failf "load failed: %s" e);
+  Journal.close w;
+  Sys.remove path
+
 (* ------------------------------------------------------------------ *)
 (* Metrics report JSON round-trip (resume replays bit-exact figures) *)
 
@@ -442,6 +481,7 @@ let () =
         [
           t "exit codes" test_error_exit_codes;
           t "of_exn mapping" test_error_of_exn;
+          t "broken pipe maps to Io/74" test_error_broken_pipe;
           t "run never raises" test_error_run_catches;
         ] );
       ( "failpoint",
@@ -469,6 +509,7 @@ let () =
           t "round-trip and resume" test_journal_roundtrip;
           t "tolerates corruption" test_journal_tolerates_corruption;
           t "failpoints" test_journal_failpoints;
+          t "concurrent appender" test_journal_concurrent_appender;
         ] );
       ("metrics", [ t "report JSON round-trip" test_report_json_roundtrip ]);
       ( "sweep",
