@@ -197,6 +197,54 @@ let torus_scale_tests () =
   in
   Bechamel.Test.make_grouped ~name:"torus-scale" tests
 
+(* Counted enumeration vs the materialising path it replaced: capped
+   candidate queries over a prebuilt table on near-empty machines —
+   the regime where the free-box population is maximal and the old
+   path had to materialise all of it to subsample 24. The count-only
+   row isolates the first pass; select adds the rank walk. *)
+let finder_counted_tests () =
+  let sizes =
+    [ ("4x4x8", Dims.bgl); ("8x8x16", Dims.make 8 8 16); ("64x32x32", Dims.bgl_full) ]
+  in
+  let cap_list cap boxes =
+    let n = List.length boxes in
+    if n <= cap then boxes
+    else
+      let arr = Array.of_list boxes in
+      List.init cap (fun i -> arr.(i * n / cap))
+  in
+  let tests =
+    List.concat_map
+      (fun (name, d) ->
+        (* One job-like box holding an eighth of the machine: the
+           scheduler's steady near-empty state. Clustered occupancy is
+           the regime that matters — scattered single nodes would
+           contaminate every row and defeat the ribbon fast path,
+           degrading counted to materialise-cost parity. *)
+        let grid = Grid.create d in
+        Grid.occupy grid
+          (Box.make (Coord.make 0 0 0)
+             (Shape.make (max 1 (d.nx / 2)) (max 1 (d.ny / 2)) (max 1 (d.nz / 2))))
+          ~owner:1;
+        let table = Prefix.build grid in
+        let volume = max 8 (Dims.volume d / 256) in
+        [
+          Bechamel.Test.make
+            ~name:(Printf.sprintf "count/%s" name)
+            (Bechamel.Staged.stage (fun () -> ignore (Finder.count_with table grid ~volume)));
+          Bechamel.Test.make
+            ~name:(Printf.sprintf "select-24/%s" name)
+            (Bechamel.Staged.stage (fun () ->
+                 ignore (Finder.select_with table grid ~volume ~cap:24)));
+          Bechamel.Test.make
+            ~name:(Printf.sprintf "materialise-cap-24/%s" name)
+            (Bechamel.Staged.stage (fun () ->
+                 ignore (cap_list 24 (Finder.find_with table grid ~volume))));
+        ])
+      sizes
+  in
+  Bechamel.Test.make_grouped ~name:"finder-counted" tests
+
 let event_queue_tests () =
   Bechamel.Test.make_grouped ~name:"engine"
     [
@@ -355,7 +403,7 @@ let run_scale_micro () =
   run_micro_groups
     ~cfg:(Bechamel.Benchmark.cfg ~stabilize:false ~limit:300 ~quota:(Bechamel.Time.second 0.25) ())
     ~banner:"micro: machine-size scaling (4x4x8 .. 64x32x32)"
-    [ torus_scale_tests () ]
+    [ torus_scale_tests (); finder_counted_tests () ]
 
 (* ------------------------------------------------------------------ *)
 

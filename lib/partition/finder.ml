@@ -390,6 +390,355 @@ let find_pop grid ~volume =
   sort_boxes !acc
 
 (* ------------------------------------------------------------------ *)
+(* Counted enumeration: answer capped candidate queries without ever
+   materialising the full box list. A first pass computes the exact
+   number of free boxes based in every (z, y) row — O(1) summed-area
+   queries per row in the common all-free case via the ribbon trick
+   below, with whole planes and rows skipped through the grid summary —
+   and a second pass walks only the rows holding the selected ranks
+   and emits those boxes directly.
+
+   The load-bearing invariant is that both passes enumerate in exactly
+   the order of the sorted materialised list: [Box.compare] orders by
+   base (z, then y, then x — [Coord.compare]) and then by shape
+   ([Shape.compare]), so rows ascend in (z, y), bases within a row
+   ascend in x, and shapes within a base follow [Shapes.shapes_of_volume],
+   which is sorted by [Shape.compare]. Under that invariant the rank-r
+   box of the counted walk IS element r of [find]'s sorted result, so
+   the engine's deterministic even subsample [i*n/cap] reproduces
+   byte-identically — proven by the qcheck equivalence layer and the
+   differential oracle rather than trusted. *)
+
+type counted_shape = {
+  cs : Shape.t;
+  cx_hi : int;  (* inclusive base bounds, as in [iter_bases] *)
+  cy_hi : int;
+  cz_hi : int;
+  (* Per-axis feasible-start masks from the summary (None when the
+     grid is below the gating threshold): [false] at a coordinate is a
+     proof no free box of the shape can be based there, so skipping on
+     it never changes a count. *)
+  cz_ok : bool array option;
+  cy_ok : bool array option;
+}
+
+type count_plan = {
+  p_shapes : counted_shape array;
+  p_rows : int array;  (* (z * ny + y) -> free boxes based in that row *)
+  p_total : int;
+  p_skips : int;  (* shapes + base rows the summary ruled out *)
+}
+
+let base_hi ~wrap extent dim =
+  if wrap then if extent = dim then 0 else dim - 1 else dim - extent
+
+let plane_ok mask i = match mask with None -> true | Some m -> m.(i)
+
+let counted_shapes grid ~volume ~skips =
+  let d = Grid.dims grid in
+  let wrap = Grid.wrap grid in
+  let gated = summary_gated grid in
+  let summary = Grid.summary grid in
+  List.filter_map
+    (fun (s : Shape.t) ->
+      if gated && not (Summary.shape_feasible summary ~wrap s) then begin
+        incr skips;
+        None
+      end
+      else
+        Some
+          {
+            cs = s;
+            cx_hi = base_hi ~wrap s.sx d.nx;
+            cy_hi = base_hi ~wrap s.sy d.ny;
+            cz_hi = base_hi ~wrap s.sz d.nz;
+            cz_ok =
+              (if gated then
+                 Some
+                   (Summary.feasible_starts summary ~wrap ~axis:`Z ~extent:s.sz
+                      ~threshold:(s.sx * s.sy))
+               else None);
+            cy_ok =
+              (if gated then
+                 Some
+                   (Summary.feasible_starts summary ~wrap ~axis:`Y ~extent:s.sy
+                      ~threshold:(s.sx * s.sz))
+               else None);
+          })
+    (Shapes.shapes_of_volume d volume)
+
+(* Count pass. The ribbon trick: the box based at (lo, y, z) spanning
+   x extent hi - lo + sx has zero occupied cells iff every cell any
+   box based in [lo, hi] of that row could touch is free — in which
+   case all hi - lo + 1 bases count from one O(1) summed-area query.
+   (With wraparound the ribbon may cover some cells twice in the
+   doubled prefix space; double-counting cannot make an all-free
+   ribbon nonzero or an occupied one zero, so the test is exact.) An
+   occupied ribbon bisects, so clustered occupancy — the scheduler's
+   steady state of a few job boxes on a mostly free machine — costs
+   O(log nx) splits per cluster boundary instead of a per-base scan;
+   a fully free row stays a single query. *)
+let count_plan grid table ~volume =
+  let d = Grid.dims grid in
+  let skips = ref 0 in
+  let shapes = Array.of_list (counted_shapes grid ~volume ~skips) in
+  let rows = Array.make (d.ny * d.nz) 0 in
+  let total = ref 0 in
+  Array.iter
+    (fun c ->
+      let s = c.cs in
+      let tbl = Lazy.force table in
+      let row_full = c.cx_hi + 1 in
+      let credit y z n =
+        if n > 0 then begin
+          rows.((z * d.ny) + y) <- rows.((z * d.ny) + y) + n;
+          total := !total + n
+        end
+      in
+      (* The same ribbon test applied at every level of the (z, y, x)
+         nesting: the slab based at the range's low corner, extended by
+         the shape along each spanned axis, covers every cell any box
+         based in the range could touch, so occupied = 0 proves every
+         base in the range hosts a free box — the whole range resolves
+         in one O(1) query, and an occupied slab bisects. A feasibility
+         mask cannot contradict a free slab (a masked start has an
+         occupied node in every would-be box), so the fast path never
+         needs to consult the masks; they are checked only when the
+         recursion bottoms out on single planes and rows. *)
+      let rec count_x y z lo hi =
+        if Prefix.occupied_in_range tbl ~x0:lo ~y0:y ~z0:z ~sx:(hi - lo + s.sx) ~sy:s.sy ~sz:s.sz = 0
+        then hi - lo + 1
+        else if lo = hi then 0 (* the ribbon IS the base's box *)
+        else
+          let mid = (lo + hi) / 2 in
+          count_x y z lo mid + count_x y z (mid + 1) hi
+      in
+      let row y z = if plane_ok c.cy_ok y then credit y z (count_x y z 0 c.cx_hi) else incr skips in
+      let rec count_y z lo hi =
+        if
+          Prefix.occupied_in_range tbl ~x0:0 ~y0:lo ~z0:z ~sx:(c.cx_hi + s.sx)
+            ~sy:(hi - lo + s.sy) ~sz:s.sz
+          = 0
+        then
+          for y = lo to hi do
+            credit y z row_full
+          done
+        else if lo = hi then row lo z
+        else begin
+          let mid = (lo + hi) / 2 in
+          count_y z lo mid;
+          count_y z (mid + 1) hi
+        end
+      in
+      let plane z = if plane_ok c.cz_ok z then count_y z 0 c.cy_hi else incr skips in
+      let rec count_z lo hi =
+        if
+          Prefix.occupied_in_range tbl ~x0:0 ~y0:0 ~z0:lo ~sx:(c.cx_hi + s.sx)
+            ~sy:(c.cy_hi + s.sy) ~sz:(hi - lo + s.sz)
+          = 0
+        then
+          for z = lo to hi do
+            for y = 0 to c.cy_hi do
+              credit y z row_full
+            done
+          done
+        else if lo = hi then plane lo
+        else begin
+          let mid = (lo + hi) / 2 in
+          count_z lo mid;
+          count_z (mid + 1) hi
+        end
+      in
+      count_z 0 c.cz_hi)
+    shapes;
+  { p_shapes = shapes; p_rows = rows; p_total = !total; p_skips = !skips }
+
+(* Select pass: walk rows in (z, y) order, using the per-row counts to
+   skip whole rows by rank arithmetic, and probe bases (x ascending,
+   shapes in sorted order) only inside rows that hold a target rank.
+   [targets] must be strictly increasing. *)
+let select_from_plan plan grid table ~targets =
+  let d = Grid.dims grid in
+  let n_targets = Array.length targets in
+  let acc = ref [] in
+  let ti = ref 0 in
+  let rank = ref 0 in
+  let nrows = Array.length plan.p_rows in
+  let r = ref 0 in
+  while !ti < n_targets && !r < nrows do
+    let rc = plan.p_rows.(!r) in
+    if rc > 0 then begin
+      let row_end = !rank + rc in
+      if targets.(!ti) < row_end then begin
+        let z = !r / d.ny and y = !r mod d.ny in
+        let tbl = Lazy.force table in
+        for x = 0 to d.nx - 1 do
+          if !ti < n_targets && targets.(!ti) < row_end then
+            Array.iter
+              (fun c ->
+                if
+                  x <= c.cx_hi && y <= c.cy_hi && z <= c.cz_hi
+                  && plane_ok c.cz_ok z && plane_ok c.cy_ok y
+                  && Prefix.box_is_free tbl (Box.make (Coord.make x y z) c.cs)
+                then begin
+                  if !ti < n_targets && targets.(!ti) = !rank then begin
+                    acc := Box.make (Coord.make x y z) c.cs :: !acc;
+                    incr ti
+                  end;
+                  incr rank
+                end)
+              plan.p_shapes
+        done
+      end;
+      rank := row_end
+    end;
+    incr r
+  done;
+  List.rev !acc
+
+(* The engine's historical cap semantics, reproduced exactly: identity
+   below the cap, else the deterministic even subsample over sorted
+   ranks. Strictly increasing when n > cap because consecutive targets
+   differ by at least floor(n/cap) >= 1. *)
+let even_targets ~n ~cap =
+  if n <= cap then Array.init n Fun.id else Array.init cap (fun i -> i * n / cap)
+
+let counted_span name f =
+  if Bgl_obs.Span.enabled () then Bgl_obs.Span.time ~name f else f ()
+
+let count_scan grid table ~volume =
+  counted_span "finder.count.scan" (fun () -> count_plan grid table ~volume)
+
+let select_scan grid table ~volume ~cap =
+  let plan = count_scan grid table ~volume in
+  let targets = even_targets ~n:plan.p_total ~cap in
+  let boxes =
+    counted_span "finder.count.select" (fun () -> select_from_plan plan grid table ~targets)
+  in
+  (plan, boxes)
+
+let counted_queries_counter () =
+  Bgl_obs.Registry.counter
+    (Bgl_obs.Runtime.registry ())
+    ~help:"counted (count-then-select) finder queries" "bgl_finder_counted_queries_total"
+
+let counted_skips_counter () =
+  Bgl_obs.Registry.counter
+    (Bgl_obs.Runtime.registry ())
+    ~help:"shapes and base rows the summary let counted queries skip"
+    "bgl_finder_counted_skips_total"
+
+let note_counted ?queries ?skips plan =
+  Bgl_obs.Registry.inc (match queries with Some c -> c | None -> counted_queries_counter ());
+  if plan.p_skips > 0 then
+    Bgl_obs.Registry.add
+      (match skips with Some c -> c | None -> counted_skips_counter ())
+      (float_of_int plan.p_skips)
+
+(* Differential checks for the counted paths: the reference is the
+   independent materialising finder plus a literal transcription of
+   the historical subsample, so a counted-walk bug cannot hide behind
+   shared code. *)
+let reference_cap ~cap boxes =
+  let n = List.length boxes in
+  if n <= cap then boxes
+  else
+    let arr = Array.of_list boxes in
+    List.init cap (fun i -> arr.(i * n / cap))
+
+let differential_check_count ~site grid ~volume fast =
+  Bgl_obs.Registry.inc (check_counter ());
+  let reference = List.length (reference_find grid ~volume) in
+  if fast <> reference then
+    raise
+      (Divergence
+         (Format.asprintf
+            "@[<v>finder divergence at %s: count volume=%d returned %d, reference says %d@ \
+             grid:@ %a@]"
+            site volume fast reference pp_grid_capped grid))
+
+let differential_check_select ~site grid ~volume ~cap fast =
+  Bgl_obs.Registry.inc (check_counter ());
+  let reference = reference_cap ~cap (reference_find grid ~volume) in
+  if not (List.equal Box.equal fast reference) then divergence ~site grid ~volume ~fast ~reference;
+  let d = Grid.dims grid in
+  List.iter
+    (fun (b : Box.t) ->
+      if
+        (not (Coord.in_bounds d b.base))
+        || Box.volume b <> volume
+        || not (Grid.box_is_free grid b)
+      then
+        raise
+          (Divergence
+             (Format.asprintf "finder divergence at %s: invalid box %a (volume %d, dims %a)" site
+                Box.pp b volume Dims.pp d)))
+    fast
+
+let count_with table grid ~volume =
+  if volume <= 0 then invalid_arg "Finder.count_with: volume must be positive";
+  Bgl_resilience.Budget.check ~site:"finder.count";
+  if volume > Grid.volume grid then 0
+  else begin
+    let plan = count_scan grid (Lazy.from_val table) ~volume in
+    note_counted plan;
+    if differential_armed () then differential_check_count ~site:"count_with" grid ~volume plan.p_total;
+    plan.p_total
+  end
+
+let count grid ~volume =
+  if volume <= 0 then invalid_arg "Finder.count: volume must be positive";
+  Bgl_resilience.Budget.check ~site:"finder.count";
+  if volume > Grid.volume grid then 0
+  else begin
+    let plan = count_scan grid (lazy (Prefix.build grid)) ~volume in
+    note_counted plan;
+    if differential_armed () then differential_check_count ~site:"count" grid ~volume plan.p_total;
+    plan.p_total
+  end
+
+let nth grid ~volume ~rank =
+  if volume <= 0 then invalid_arg "Finder.nth: volume must be positive";
+  if rank < 0 then invalid_arg "Finder.nth: rank must be >= 0";
+  Bgl_resilience.Budget.check ~site:"finder.nth";
+  if volume > Grid.volume grid then None
+  else begin
+    let table = lazy (Prefix.build grid) in
+    let plan = count_scan grid table ~volume in
+    note_counted plan;
+    if rank >= plan.p_total then None
+    else
+      match select_from_plan plan grid table ~targets:[| rank |] with
+      | [ box ] -> Some box
+      | _ -> None
+  end
+
+let select_with table grid ~volume ~cap =
+  if volume <= 0 then invalid_arg "Finder.select_with: volume must be positive";
+  if cap < 1 then invalid_arg "Finder.select_with: cap must be >= 1";
+  Bgl_resilience.Budget.check ~site:"finder.select";
+  if volume > Grid.volume grid then []
+  else begin
+    let plan, boxes = select_scan grid (Lazy.from_val table) ~volume ~cap in
+    note_counted plan;
+    if differential_armed () then
+      differential_check_select ~site:"select_with" grid ~volume ~cap boxes;
+    boxes
+  end
+
+let select grid ~volume ~cap =
+  if volume <= 0 then invalid_arg "Finder.select: volume must be positive";
+  if cap < 1 then invalid_arg "Finder.select: cap must be >= 1";
+  Bgl_resilience.Budget.check ~site:"finder.select";
+  if volume > Grid.volume grid then []
+  else begin
+    let plan, boxes = select_scan grid (lazy (Prefix.build grid)) ~volume ~cap in
+    note_counted plan;
+    if differential_armed () then differential_check_select ~site:"select" grid ~volume ~cap boxes;
+    boxes
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Per-pass candidate cache: memoise finder results keyed on the grid's
    occupancy fingerprint, over an incrementally maintained summed-area
    table. Within one scheduling pass the engine re-queries the same
@@ -411,6 +760,9 @@ module Cache = struct
            touch the table at all. *)
     find_memo : (int, int * Box.t list) Hashtbl.t;  (* volume -> fingerprint, result *)
     exists_memo : (int, int * bool) Hashtbl.t;
+    count_memo : (int, int * int) Hashtbl.t;  (* volume -> fingerprint, count *)
+    select_memo : (int * int, int * Box.t list) Hashtbl.t;
+        (* (volume, cap) -> fingerprint, subsample *)
     mutable mfp_slot : (int * Box.t option) option;
         (* one-deep MFP memo: the stable (unprobed) occupancy state *)
     counters : counters;
@@ -418,6 +770,8 @@ module Cache = struct
     obs_misses : Bgl_obs.Registry.counter;
     obs_incr : Bgl_obs.Registry.counter;
     obs_full : Bgl_obs.Registry.counter;
+    obs_counted : Bgl_obs.Registry.counter;
+    obs_counted_skips : Bgl_obs.Registry.counter;
     mutable last_stats : Prefix.stats;
   }
 
@@ -429,6 +783,8 @@ module Cache = struct
       table = lazy (Prefix.track grid);
       find_memo = Hashtbl.create 32;
       exists_memo = Hashtbl.create 32;
+      count_memo = Hashtbl.create 32;
+      select_memo = Hashtbl.create 32;
       mfp_slot = None;
       counters = { hits = 0; misses = 0 };
       obs_hits = counter reg ~help:"finder candidate-cache hits" "bgl_finder_cache_hits_total";
@@ -440,6 +796,12 @@ module Cache = struct
       obs_full =
         counter reg ~help:"summed-area table updates, by kind"
           "bgl_prefix_updates_total{kind=\"full\"}";
+      obs_counted =
+        counter reg ~help:"counted (count-then-select) finder queries"
+          "bgl_finder_counted_queries_total";
+      obs_counted_skips =
+        counter reg ~help:"shapes and base rows the summary let counted queries skip"
+          "bgl_finder_counted_skips_total";
       last_stats = { Prefix.full_rebuilds = 0; incremental_updates = 0 };
     }
 
@@ -531,6 +893,55 @@ module Cache = struct
     in
     if differential_armed () then
       differential_check_exists ~site:"cache.exists_free" t.grid ~volume result;
+    result
+
+  let count t ~volume =
+    if volume <= 0 then invalid_arg "Finder.Cache.count: volume must be positive";
+    Bgl_resilience.Budget.check ~site:"finder.cache.count";
+    let result =
+      if volume > Grid.volume t.grid then 0
+      else
+        let fp = Grid.fingerprint t.grid in
+        match Hashtbl.find_opt t.count_memo volume with
+        | Some (fp', n) when fp' = fp ->
+            hit t;
+            n
+        | _ ->
+            miss t;
+            let plan = count_scan t.grid (lazy_table t) ~volume in
+            note_counted ~queries:t.obs_counted ~skips:t.obs_counted_skips plan;
+            Hashtbl.replace t.count_memo volume (fp, plan.p_total);
+            plan.p_total
+    in
+    if differential_armed () then differential_check_count ~site:"cache.count" t.grid ~volume result;
+    result
+
+  (* The capped engine query: count, pick the historical even-subsample
+     ranks, and emit only those boxes. Also seeds the count memo — the
+     count pass already ran. *)
+  let select t ~volume ~cap =
+    if volume <= 0 then invalid_arg "Finder.Cache.select: volume must be positive";
+    if cap < 1 then invalid_arg "Finder.Cache.select: cap must be >= 1";
+    Bgl_resilience.Budget.check ~site:"finder.cache.select";
+    let result =
+      if volume > Grid.volume t.grid then []
+      else
+        let fp = Grid.fingerprint t.grid in
+        match Hashtbl.find_opt t.select_memo (volume, cap) with
+        | Some (fp', boxes) when fp' = fp ->
+            hit t;
+            boxes
+        | _ ->
+            miss t;
+            let table = lazy_table t in
+            let plan, boxes = select_scan t.grid table ~volume ~cap in
+            note_counted ~queries:t.obs_counted ~skips:t.obs_counted_skips plan;
+            Hashtbl.replace t.count_memo volume (fp, plan.p_total);
+            Hashtbl.replace t.select_memo (volume, cap) (fp, boxes);
+            boxes
+    in
+    if differential_armed () then
+      differential_check_select ~site:"cache.select" t.grid ~volume ~cap result;
     result
 
   (* MFP search does not fit the per-volume memo (its result is a box,

@@ -81,6 +81,43 @@ val exists_free : Grid.t -> volume:int -> bool
 (** Whether at least one free partition of exactly [volume] exists
     (prefix-based, with early exit). *)
 
+(** {1 Counted enumeration}
+
+    Capped candidate queries without materialising the full candidate
+    list. A count pass computes the exact number of free boxes per
+    (z, y) base row — O(1) summed-area queries per row on mostly-free
+    grids, with whole shapes, planes and rows skipped through the grid
+    {!Bgl_torus.Summary} — and a select pass walks only the rows
+    holding the requested ranks.
+
+    The invariant all three functions share: ranks are taken in the
+    canonical sorted order of {!find}'s result ({!Bgl_torus.Box.compare}:
+    base z, y, x, then shape), so [select ~cap] is {e definitionally}
+    equal to capping the materialised list with the engine's historical
+    even subsample [i*n/cap] — the equality the qcheck layer and the
+    differential oracle enforce. Counted queries are observable as
+    [bgl_finder_counted_queries_total] / [bgl_finder_counted_skips_total]
+    and the [finder.count.scan] / [finder.count.select] spans. *)
+
+val count : Grid.t -> volume:int -> int
+(** [count grid ~volume = List.length (find Prefix grid ~volume)],
+    computed without allocating the list. *)
+
+val count_with : Prefix.t -> Grid.t -> volume:int -> int
+(** As {!count}, reusing a prebuilt summed-area table that must
+    reflect the grid's current occupancy. *)
+
+val nth : Grid.t -> volume:int -> rank:int -> Box.t option
+(** [nth grid ~volume ~rank = List.nth_opt (find Prefix grid ~volume) rank]
+    without materialising the list. [rank] must be ≥ 0. *)
+
+val select : Grid.t -> volume:int -> cap:int -> Box.t list
+(** The deterministic even subsample over the sorted candidate list:
+    the whole list when its length [n] ≤ [cap], else the [cap] boxes
+    at ranks [i*n/cap]. [cap] must be ≥ 1. *)
+
+val select_with : Prefix.t -> Grid.t -> volume:int -> cap:int -> Box.t list
+
 (** {1 Differential mode}
 
     A global debug switch: while enabled, accelerated queries ({!find}
@@ -153,6 +190,16 @@ module Cache : sig
       the occupancy fingerprint. *)
 
   val exists_free : t -> volume:int -> bool
+
+  val count : t -> volume:int -> int
+  (** As {!Finder.count} on the cached grid, memoised per volume on the
+      occupancy fingerprint. *)
+
+  val select : t -> volume:int -> cap:int -> Box.t list
+  (** As {!Finder.select} on the cached grid, memoised per
+      (volume, cap) on the occupancy fingerprint. The engine's capped
+      candidate query: byte-identical to
+      [cap ∘ {!find}] but never materialises the full list. *)
 
   val mfp_cached : t -> compute:(unit -> Box.t option) -> Box.t option
   (** One-deep memo for the maximal-free-partition search: returns the

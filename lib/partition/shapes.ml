@@ -66,10 +66,22 @@ let catalogue (d : Dims.t) =
           !all
       in
       let levels =
-        List.map
-          (fun v ->
-            (v, Array.of_list (List.filter (fun s -> Shape.volume s = v) desc)))
-          (List.rev volumes)
+        (* [desc] is sorted by volume descending, so each level is a
+           consecutive run — one grouping pass instead of one full-list
+           filter per distinct volume, which is quadratic in the shape
+           count and costs seconds at 64x32x32. *)
+        let rec group = function
+          | [] -> []
+          | s :: _ as l ->
+              let v = Shape.volume s in
+              let rec take acc = function
+                | s' :: rest when Shape.volume s' = v -> take (s' :: acc) rest
+                | rest -> (List.rev acc, rest)
+              in
+              let run, rest = take [] l in
+              (v, Array.of_list run) :: group rest
+        in
+        group desc
       in
       let c = { volumes; desc; levels } in
       publish key c;

@@ -61,6 +61,19 @@ let make_obs () =
         "bgl_sim_placement_candidates";
   }
 
+(* The wait queue is a set ordered by (arrival, id) — the FCFS order the
+   old sorted-list queue maintained — with the job index carried along.
+   Insert and remove are O(log Q) where the list walked O(Q) per
+   operation (O(Q²) across a bursty arrival batch); iteration order is
+   identical, so scheduling behaviour is byte-for-byte unchanged.
+   (arrival, id) is already unique per job; the index is payload, not a
+   tiebreak. *)
+module Jobq = Set.Make (struct
+  type t = float * int * int  (* arrival, id, job index *)
+
+  let compare = Stdlib.compare
+end)
+
 type state = {
   cfg : Config.t;
   policy : Policy.t;
@@ -75,7 +88,7 @@ type state = {
   jobs : Job.t array;
   events : event Event_queue.t;
   metrics : Metrics.t;
-  mutable queue : int list;  (* FCFS by (arrival, id); holds job indices *)
+  mutable queue : Jobq.t;  (* FCFS by (arrival, id); holds job indices *)
   mutable queue_len : int;
   mutable queued_demand : int;  (* sum of requested sizes over the queue *)
   mutable running : int list;
@@ -96,43 +109,35 @@ let record st entry =
 (* ------------------------------------------------------------------ *)
 (* Queue management *)
 
-let queue_order (st : state) a b =
-  let ja = st.jobs.(a).spec and jb = st.jobs.(b).spec in
-  match compare ja.arrival jb.arrival with 0 -> Int.compare ja.id jb.id | c -> c
+let queue_key st idx =
+  let j = st.jobs.(idx).spec in
+  (j.Bgl_trace.Job_log.arrival, j.id, idx)
 
 let queue_insert st idx =
-  let rec ins = function
-    | [] -> [ idx ]
-    | head :: _ as l when queue_order st idx head < 0 -> idx :: l
-    | head :: rest -> head :: ins rest
-  in
-  st.queue <- ins st.queue;
+  st.queue <- Jobq.add (queue_key st idx) st.queue;
   st.queue_len <- st.queue_len + 1;
   st.queued_demand <- st.queued_demand + st.jobs.(idx).spec.size
 
 let queue_remove st idx =
-  st.queue <- List.filter (fun i -> i <> idx) st.queue;
+  st.queue <- Jobq.remove (queue_key st idx) st.queue;
   st.queue_len <- st.queue_len - 1;
   st.queued_demand <- st.queued_demand - st.jobs.(idx).spec.size
 
 (* ------------------------------------------------------------------ *)
 (* Placement *)
 
-let cap_candidates cfg candidates =
-  match cfg.Config.candidate_cap with
-  | None -> candidates
-  | Some cap ->
-      let n = List.length candidates in
-      if n <= cap then candidates
-      else begin
-        (* Deterministic even subsample across the (sorted) list. *)
-        let arr = Array.of_list candidates in
-        List.init cap (fun i -> arr.(i * n / cap))
-      end
-
+(* One capped query: [Cache.select] answers with the deterministic even
+   subsample (the historical [cap_candidates ∘ find] semantics, proven
+   equivalent by the qcheck layer and the differential oracle) without
+   materialising the full candidate list — the term that used to be
+   super-linear in machine size. The uncapped path keeps the full
+   enumeration. *)
 let find_candidates st volume =
   if Grid.free_count st.grid < volume then []
-  else cap_candidates st.cfg (Bgl_partition.Finder.Cache.find st.cache ~volume)
+  else
+    match st.cfg.Config.candidate_cap with
+    | None -> Bgl_partition.Finder.Cache.find st.cache ~volume
+    | Some cap -> Bgl_partition.Finder.Cache.select st.cache ~volume ~cap
 
 let checkpoint_interval st (job : Job.t) box =
   match st.cfg.checkpoint with
@@ -225,42 +230,51 @@ let compute_reservation st (head : Job.t) =
         | None -> ());
         let shadow = estimated_run_end st idx in
         if feasible () then
-          let boxes = Bgl_partition.Finder.Cache.find gcache ~volume:head.volume in
-          (shadow, Some (List.hd boxes))
+          (* Only the sorted head is needed: rank 0 of the counted walk
+             is the head of the materialised list. *)
+          match Bgl_partition.Finder.Cache.select gcache ~volume:head.volume ~cap:1 with
+          | box :: _ -> (shadow, Some box)
+          | [] -> (shadow, None) (* unreachable: feasible () just held *)
         else release shadow rest)
   in
   if feasible () then (st.now, None) (* should have been placed directly *)
   else release st.now by_end
 
-let backfill_pass st head_idx rest =
+let backfill_pass st head_idx =
   let head = st.jobs.(head_idx) in
   let shadow, reserved = compute_reservation st head in
   let dims = Grid.dims st.grid in
   let depth = st.cfg.backfill_depth in
-  let rec scan count = function
-    | [] -> ()
-    | _ when count >= depth -> ()
-    | idx :: later ->
-        let job = st.jobs.(idx) in
-        let candidates = find_candidates st job.volume in
-        let allowed =
-          if candidates = [] then []
-          else if st.now +. job.spec.estimate <= shadow then candidates
-          else
-            match reserved with
-            | None -> candidates
-            | Some res -> List.filter (fun b -> not (Box.overlap dims b res)) candidates
-        in
-        (if allowed <> [] then
-           let ctx = Policy.make_ctx ~cache:st.cache ~now:st.now st.grid in
-           match st.policy.choose ctx ~job:job.spec ~volume:job.volume ~candidates:allowed with
-           | Some box ->
-               queue_remove st idx;
-               start_job st idx box
-           | None -> ());
-        scan (count + 1) later
+  (* Snapshot of the queue behind the head, in FCFS order. The set is
+     immutable, so starting a backfilled job (which removes it from
+     [st.queue]) cannot disturb the ongoing scan. *)
+  let rest = Jobq.remove (queue_key st head_idx) st.queue in
+  let rec scan count seq =
+    if count >= depth then ()
+    else
+      match seq () with
+      | Seq.Nil -> ()
+      | Seq.Cons ((_, _, idx), later) ->
+          let job = st.jobs.(idx) in
+          let candidates = find_candidates st job.volume in
+          let allowed =
+            if candidates = [] then []
+            else if st.now +. job.spec.estimate <= shadow then candidates
+            else
+              match reserved with
+              | None -> candidates
+              | Some res -> List.filter (fun b -> not (Box.overlap dims b res)) candidates
+          in
+          (if allowed <> [] then
+             let ctx = Policy.make_ctx ~cache:st.cache ~now:st.now st.grid in
+             match st.policy.choose ctx ~job:job.spec ~volume:job.volume ~candidates:allowed with
+             | Some box ->
+                 queue_remove st idx;
+                 start_job st idx box
+             | None -> ());
+          scan (count + 1) later
   in
-  scan 0 rest
+  scan 0 (Jobq.to_seq rest)
 
 (* ------------------------------------------------------------------ *)
 (* Migration: re-pack running jobs (largest first) to defragment *)
@@ -288,7 +302,7 @@ let try_migrate st (head : Job.t) =
           | None -> None
           | Some placed -> (
               let job = st.jobs.(idx) in
-              match Bgl_partition.Finder.Cache.find gcache ~volume:job.volume with
+              match Bgl_partition.Finder.Cache.select gcache ~volume:job.volume ~cap:1 with
               | [] -> None
               | box :: _ ->
                   Grid.occupy ghost box ~owner:idx;
@@ -341,9 +355,9 @@ let try_migrate st (head : Job.t) =
 
 let schedule_pass st =
   let rec go migration_tried =
-    match st.queue with
-    | [] -> ()
-    | head_idx :: rest -> (
+    match Jobq.min_elt_opt st.queue with
+    | None -> ()
+    | Some (_, _, head_idx) -> (
         let head = st.jobs.(head_idx) in
         match try_place st head with
         | Some box ->
@@ -352,7 +366,7 @@ let schedule_pass st =
             go migration_tried
         | None ->
             if st.cfg.migration && (not migration_tried) && try_migrate st head then go true
-            else if st.cfg.backfill then backfill_pass st head_idx rest)
+            else if st.cfg.backfill then backfill_pass st head_idx)
   in
   go false
 
@@ -523,7 +537,7 @@ let run ?(config = Config.default) ?(predictor = Bgl_predict.Predictor.null) ?re
       jobs;
       events = Event_queue.create ();
       metrics = Metrics.create ~nodes:(Dims.volume config.dims) ~slowdown_tau:config.slowdown_tau;
-      queue = [];
+      queue = Jobq.empty;
       queue_len = 0;
       queued_demand = 0;
       running = [];
@@ -556,7 +570,7 @@ let run ?(config = Config.default) ?(predictor = Bgl_predict.Predictor.null) ?re
     failures.events;
   let first_arrival = if Array.length jobs = 0 then 0. else jobs.(0).spec.arrival in
   let rec loop () =
-    if st.arrivals_pending = 0 && st.queue = [] && st.running = [] then ()
+    if st.arrivals_pending = 0 && Jobq.is_empty st.queue && st.running = [] then ()
     else
       match Event_queue.pop st.events with
       | None -> () (* unschedulable leftovers; reported as incomplete *)

@@ -186,19 +186,22 @@ let is_stale t =
   | None -> false
   | Some tr -> Grid.version tr.grid <> tr.seen_version
 
-let occupied_in_box t (box : Box.t) =
+let occupied_in_range t ~x0 ~y0 ~z0 ~sx ~sy ~sz =
   sync t;
-  let b = box.base and s = box.shape in
-  let x1 = b.x + s.sx and y1 = b.y + s.sy and z1 = b.z + s.sz in
+  let x1 = x0 + sx and y1 = y0 + sy and z1 = z0 + sz in
   if x1 > t.ex || y1 > t.ey || z1 > t.ez then
-    invalid_arg "Prefix.occupied_in_box: box exceeds table (wraparound disabled?)";
+    invalid_arg "Prefix.occupied_in_range: box exceeds table (wraparound disabled?)";
   let stride_y = t.ex + 1 in
   let stride_z = stride_y * (t.ey + 1) in
   let at i j k = t.cum.(i + (stride_y * j) + (stride_z * k)) in
   at x1 y1 z1
-  - at b.x y1 z1 - at x1 b.y z1 - at x1 y1 b.z
-  + at b.x b.y z1 + at b.x y1 b.z + at x1 b.y b.z
-  - at b.x b.y b.z
+  - at x0 y1 z1 - at x1 y0 z1 - at x1 y1 z0
+  + at x0 y0 z1 + at x0 y1 z0 + at x1 y0 z0
+  - at x0 y0 z0
+
+let occupied_in_box t (box : Box.t) =
+  let b = box.base and s = box.shape in
+  occupied_in_range t ~x0:b.x ~y0:b.y ~z0:b.z ~sx:s.sx ~sy:s.sy ~sz:s.sz
 
 let box_is_free t box = occupied_in_box t box = 0
 

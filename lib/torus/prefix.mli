@@ -56,6 +56,14 @@ val stats : t -> stats
 val occupied_in_box : t -> Box.t -> int
 (** Number of occupied nodes inside the box. *)
 
+val occupied_in_range : t -> x0:int -> y0:int -> z0:int -> sx:int -> sy:int -> sz:int -> int
+(** As {!occupied_in_box} on the box based at [(x0, y0, z0)] with
+    extents [(sx, sy, sz)], without allocating the box — the counted
+    enumeration's ribbon probes issue hundreds of thousands of these
+    per scan, where three records per probe is measurable GC load.
+    Extents may reach into the doubled wraparound space (up to
+    [2*dim - 1] per axis), like any wrapped box. *)
+
 val box_is_free : t -> Box.t -> bool
 
 val equal : t -> t -> bool

@@ -349,6 +349,58 @@ let test_fig3_golden_parallel () =
     (render_fig3 ~domains:2)
 
 (* ------------------------------------------------------------------ *)
+(* Candidate-cap ablation pin: the counted enumeration (Finder.select)
+   must reproduce the engine's historical materialise-then-subsample
+   byte-for-byte, so the cap ablation figure — which exercises every
+   cap setting including the uncapped one — is pinned against fixtures
+   generated before the counted path existed. Two grid sizes cover both
+   finder representations: 4x4x8 (volume 128, direct scan) and 8x8x16
+   (volume 1024, summary-gated prefix scan).
+
+   After an INTENTIONAL result change, regenerate with:
+
+     BGL_UPDATE_GOLDEN=$PWD/test/fixtures \
+       dune exec test/test_core.exe -- test ablation *)
+
+let ablation_scales =
+  [
+    ("4x4x8", Bgl_torus.Dims.bgl, 80);
+    ("8x8x16", Bgl_torus.Dims.make 8 8 16, 40);
+  ]
+
+let render_cap_ablation dims n_jobs =
+  Figures.clear_cache ();
+  let scale =
+    { Figures.n_jobs; seeds = [ 7 ]; a_values = []; fail_fracs = []; dims }
+  in
+  let text = Format.asprintf "%a@." Series.pp_figure (Ablations.candidate_cap scale) in
+  Figures.clear_cache ();
+  text
+
+let ablation_fixture_path name =
+  let candidates = [ "fixtures/" ^ name; "test/fixtures/" ^ name ] in
+  match List.find_opt Sys.file_exists candidates with
+  | Some p -> p
+  | None -> List.hd candidates
+
+let read_ablation_golden ~name ~render =
+  match Sys.getenv_opt "BGL_UPDATE_GOLDEN" with
+  | Some dir when Sys.is_directory dir ->
+      let text = render () in
+      let path = Filename.concat dir name in
+      Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc text);
+      Printf.printf "golden fixture rewritten: %s\n%!" path;
+      text
+  | _ -> In_channel.with_open_bin (ablation_fixture_path name) In_channel.input_all
+
+let test_cap_ablation_pinned (label, dims, n_jobs) () =
+  let name = Printf.sprintf "ablate_candidates_%s_golden.txt" label in
+  Alcotest.(check string)
+    (label ^ " cap ablation matches pre-counted fixture")
+    (read_ablation_golden ~name ~render:(fun () -> render_cap_ablation dims n_jobs))
+    (render_cap_ablation dims n_jobs)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let tc name f = Alcotest.test_case name `Quick f in
@@ -399,4 +451,9 @@ let () =
           slow "fig3 sequential" test_fig3_golden_sequential;
           slow "fig3 two domains" test_fig3_golden_parallel;
         ] );
+      ( "ablation",
+        List.map
+          (fun ((label, _, _) as size) ->
+            slow ("candidate cap pinned " ^ label) (test_cap_ablation_pinned size))
+          ablation_scales );
     ]

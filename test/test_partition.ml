@@ -575,6 +575,98 @@ let prop_cache_mfp_agrees =
           && Grid.fingerprint g = fp (* probes restored the grid *)
           && Mfp.volume ~cache g = plain (* memo survived the probes *))
 
+(* ------------------------------------------------------------------ *)
+(* Counted enumeration: count/nth/select must agree with the
+   materialised list — count with its length, select with the engine's
+   historical even subsample (transcribed literally below so a shared
+   bug cannot hide), nth with positional lookup — on arbitrary
+   occupancies, both torus modes, non-cubic dims, and the cap >= n /
+   cap = 1 / n = 0 edges. Counterexamples shrink to a short op list
+   and print the replayed grid, like the differential properties. *)
+
+let cap_oracle cap boxes =
+  let n = List.length boxes in
+  if n <= cap then boxes
+  else
+    let arr = Array.of_list boxes in
+    List.init cap (fun i -> arr.(i * n / cap))
+
+let prop_count_equals_find_length =
+  QCheck.Test.make ~name:"count equals length of find after random ops" ~count:150
+    arb_op_scenario
+    (fun (d, wrap, ops, volume) ->
+      let g, cache = replay_ops (d, wrap, ops) in
+      let reference = List.length (Finder.find Finder.Naive g ~volume) in
+      Finder.count g ~volume = reference
+      && Finder.count_with (Prefix.build g) g ~volume = reference
+      && Finder.Cache.count cache ~volume = reference
+      && Finder.Cache.count cache ~volume = reference (* memo-hit path *))
+
+let prop_select_equals_capped_find =
+  QCheck.Test.make ~name:"select equals even-capped find after random ops" ~count:150
+    (QCheck.pair arb_op_scenario (QCheck.int_range 1 50))
+    (fun ((d, wrap, ops, volume), cap) ->
+      let g, cache = replay_ops (d, wrap, ops) in
+      let sorted = Finder.find Finder.Naive g ~volume in
+      let reference = cap_oracle cap sorted in
+      Finder.select g ~volume ~cap = reference
+      && Finder.select_with (Prefix.build g) g ~volume ~cap = reference
+      && Finder.Cache.select cache ~volume ~cap = reference
+      && Finder.Cache.select cache ~volume ~cap = reference (* memo-hit path *)
+      && Finder.select g ~volume ~cap:1 = cap_oracle 1 sorted
+      && Finder.nth g ~volume ~rank:0 = (match sorted with [] -> None | b :: _ -> Some b)
+      && Finder.nth g ~volume ~rank:(cap - 1) = List.nth_opt sorted (cap - 1)
+      && Finder.nth g ~volume ~rank:(List.length sorted) = None)
+
+let test_counted_edges () =
+  let d = Dims.make 3 3 4 in
+  let g = Grid.create ~wrap:true d in
+  (* n = 0: volume 7 has no divisor shape fitting 3x3x4 *)
+  check_int "unrealisable volume counts zero" 0 (Finder.count g ~volume:7);
+  check_bool "unrealisable volume selects nothing" true (Finder.select g ~volume:7 ~cap:5 = []);
+  check_bool "nth on empty result" true (Finder.nth g ~volume:7 ~rank:0 = None);
+  check_int "volume beyond the machine" 0 (Finder.count g ~volume:1000);
+  let all = Finder.find Finder.Naive g ~volume:4 in
+  check_int "count on a live volume" (List.length all) (Finder.count g ~volume:4);
+  check_bool "cap >= n is the identity" true (Finder.select g ~volume:4 ~cap:10_000 = all);
+  check_bool "cap = 1 is the sorted head" true
+    (Finder.select g ~volume:4 ~cap:1 = [ List.hd all ]);
+  check_bool "nth walks the sorted order" true
+    (List.for_all
+       (fun r -> Finder.nth g ~volume:4 ~rank:r = List.nth_opt all r)
+       [ 0; 1; 2; List.length all - 1; List.length all ])
+
+(* Same agreement above the summary-gating threshold, where the
+   counted passes additionally use per-axis feasible-start masks and
+   shape gating: the representation the full-scale engine runs on. *)
+let test_counted_agrees_at_scale () =
+  let d = Dims.make 8 8 16 in
+  let g = Grid.create d in
+  check_bool "summary gating active at 1024 nodes" true (Finder.summary_gated g);
+  let check_all_volumes () =
+    List.iter
+      (fun v ->
+        let sorted = Finder.find Finder.Prefix g ~volume:v in
+        check_int
+          (Printf.sprintf "gated count agrees at volume %d" v)
+          (List.length sorted) (Finder.count g ~volume:v);
+        List.iter
+          (fun cap ->
+            check_bool
+              (Printf.sprintf "gated select agrees at volume %d cap %d" v cap)
+              true
+              (Finder.select g ~volume:v ~cap = cap_oracle cap sorted))
+          [ 1; 3; 24 ])
+      [ 1; 4; 8; 16; 32 ]
+  in
+  (* Near-empty: the ribbon fast path covers whole rows. *)
+  Grid.occupy g (Box.make (Coord.make 3 2 5) (Shape.make 2 2 2)) ~owner:1;
+  check_all_volumes ();
+  (* Mostly-occupied: the per-base fallback does the counting. *)
+  Grid.occupy g (Box.make (Coord.make 0 0 0) (Shape.make 8 8 5)) ~owner:2;
+  Grid.occupy g (Box.make (Coord.make 0 0 8) (Shape.make 8 8 8)) ~owner:3;
+  check_all_volumes ()
+
 let props =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -589,6 +681,8 @@ let props =
       prop_exists_free_agrees;
       prop_differential_all_finders;
       prop_cache_mfp_agrees;
+      prop_count_equals_find_length;
+      prop_select_equals_capped_find;
     ]
 
 let () =
@@ -618,6 +712,8 @@ let () =
           tc "canonical dedup" test_canonical_dedup_full_dim;
           tc "bases cache capped" test_bases_cache_cap;
           tc "gating never changes results" test_gated_find_agrees_at_scale;
+          tc "counted enumeration edges" test_counted_edges;
+          tc "counted agrees above the gate" test_counted_agrees_at_scale;
         ] );
       ( "cache",
         [

@@ -294,6 +294,32 @@ let test_fcfs_order_without_backfill () =
   in
   Alcotest.(check (list (pair int (float 1e-6)))) "strict FCFS" [ (0, 0.); (1, 10.); (2, 20.) ] starts
 
+let test_queue_order_ties () =
+  (* Three whole-torus jobs share one arrival time and are submitted out
+     of id order; a fourth arrives earlier. The queue must serve them in
+     (arrival, id) order regardless of submission order — the tie-break
+     the set-backed queue encodes in its key. Backfill cannot reorder
+     full-machine jobs, so both configurations must agree. *)
+  let log =
+    mk_log
+      [
+        mk_job ~id:5 ~arrival:10. ~size:128 ~run_time:10.;
+        mk_job ~id:1 ~arrival:10. ~size:128 ~run_time:10.;
+        mk_job ~id:3 ~arrival:10. ~size:128 ~run_time:10.;
+        mk_job ~id:2 ~arrival:0. ~size:128 ~run_time:10.;
+      ]
+  in
+  let starts_of config =
+    let o = run ~config ~log ~failures:no_failures () in
+    Array.to_list o.jobs
+    |> List.map (fun (j : Job.t) -> (Option.get j.first_start, j.spec.id))
+    |> List.sort compare
+  in
+  let expected = [ (0., 2); (10., 1); (20., 3); (30., 5) ] in
+  let check_starts msg got = Alcotest.(check (list (pair (float 1e-6) int))) msg expected got in
+  check_starts "arrival then id, no backfill" (starts_of { Config.default with backfill = false });
+  check_starts "arrival then id, backfill on" (starts_of Config.default)
+
 let test_backfill_fills_hole () =
   (* Job 0 takes half the torus; job 1 wants the whole torus and must
      wait; job 2 is small and short: backfilling runs it in the hole
@@ -717,6 +743,7 @@ let () =
           tc "checkpoint resume" test_checkpointed_job_resumes;
           tc "checkpoint overhead" test_checkpoint_overhead_without_failures;
           tc "FCFS order" test_fcfs_order_without_backfill;
+          tc "queue ties: arrival then id" test_queue_order_ties;
           tc "backfill fills hole" test_backfill_fills_hole;
           tc "backfill reservation" test_backfill_respects_reservation;
           tc "oversize dropped" test_oversize_jobs_dropped;
