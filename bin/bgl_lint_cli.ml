@@ -29,9 +29,18 @@ let no_waivers =
         ~doc:"Ignore the waiver file and report every finding (CI uses this to smoke-check the \
               JSONL stream on a known-nonempty report).")
 
+let typed =
+  Arg.(
+    value & flag
+    & info [ "typed" ]
+        ~doc:"Run the typed interprocedural pass (rules R7-R10) over compiled $(b,.cmt) units \
+              instead of the syntactic per-file pass (R1-R6). Requires a prior $(b,dune build); \
+              when invoked from the source root the $(b,_build/default) mirror of each path is \
+              scanned.")
+
 let default_waivers = ".lint-waivers"
 
-let run format quiet waivers_file no_waivers paths =
+let run format quiet typed waivers_file no_waivers paths =
   Bgl_resilience.Error.run ~prog:"bgl-lint" @@ fun () ->
   Bgl_core.Cli_flags.set_quiet quiet;
   let ( let* ) = Result.bind in
@@ -44,7 +53,10 @@ let run format quiet waivers_file no_waivers paths =
           if Sys.file_exists default_waivers then Bgl_lint.Waivers.load default_waivers
           else Ok []
   in
-  let* outcome = Bgl_lint.Driver.run ~waivers paths in
+  let* outcome =
+    if typed then Bgl_lint.Driver.run_typed ~waivers paths
+    else Bgl_lint.Driver.run ~waivers paths
+  in
   (match format with
   | Bgl_core.Cli_flags.Human -> Format.printf "%a@?" Bgl_lint.Driver.pp_human outcome
   | Bgl_core.Cli_flags.Jsonl ->
@@ -63,12 +75,19 @@ let cmd =
          top-level mutable state, swallowed exceptions, float-literal equality, stray stdout in \
          lib/). Findings a $(b,.lint-waivers) entry covers are suppressed; waivers that cover \
          nothing are stale and reported as findings themselves.";
+      `P
+        "With $(b,--typed), analyzes the compiler's $(b,.cmt) output instead: a cross-module \
+         call graph supports R7 (nondeterministic primitives reachable from deterministic \
+         roots, reported with the call path), R8 (mutable state captured by closures crossing \
+         domains), R9 (catch-alls that can swallow typed control exceptions), and R10 (Job \
+         lifecycle writes outside Job.transition). An R7 waiver doubles as a taint barrier on \
+         its file.";
     ]
   in
   Cmd.v
     (Cmd.info "bgl-lint" ~doc ~man)
     Term.(
-      const run $ Bgl_core.Cli_flags.format $ Bgl_core.Cli_flags.quiet $ waivers_file
+      const run $ Bgl_core.Cli_flags.format $ Bgl_core.Cli_flags.quiet $ typed $ waivers_file
       $ no_waivers $ paths)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,152 @@
+(* Loading and naming for the typed pass.
+
+   The typed rules (R7-R10) work on the compiler's own `.cmt` output,
+   so they see resolved paths and inferred types instead of surface
+   syntax. This module hides the two impedance mismatches: dune's
+   module-name mangling (`Bgl_sim__Engine`, `Bgl_sim__.Job.t`) and the
+   fact that `.cmt` files live under `_build`, not next to their
+   sources. *)
+
+type unit_info = {
+  modname : string;  (* normalized dotted module path, e.g. "Bgl_sim.Engine" *)
+  source : string;  (* source path as recorded by the compiler *)
+  structure : Typedtree.structure;
+}
+
+(* Dune mangles wrapped-library modules as `Lib__Module` and the
+   library alias unit as `Lib__`; compiled paths may also thread
+   through the alias (`Bgl_sim__.Job.t`). Splitting every
+   module-looking component on `__` and dropping the empties folds all
+   spellings onto one canonical `Lib.Module` form. Lowercase
+   components (value names) pass through untouched so a value named
+   `foo__bar` keeps its name. *)
+let split_mangled comp =
+  if comp = "" || not (comp.[0] >= 'A' && comp.[0] <= 'Z') then [ comp ]
+  else begin
+    let parts = ref [] in
+    let buf = Buffer.create (String.length comp) in
+    let n = String.length comp in
+    let i = ref 0 in
+    while !i < n do
+      if !i + 1 < n && comp.[!i] = '_' && comp.[!i + 1] = '_' then begin
+        parts := Buffer.contents buf :: !parts;
+        Buffer.clear buf;
+        i := !i + 2
+      end
+      else begin
+        Buffer.add_char buf comp.[!i];
+        incr i
+      end
+    done;
+    parts := Buffer.contents buf :: !parts;
+    List.filter (fun s -> s <> "") (List.rev !parts)
+  end
+
+let normalize_dotted s =
+  let comps = List.concat_map split_mangled (String.split_on_char '.' s) in
+  let comps = match comps with "Stdlib" :: (_ :: _ as rest) -> rest | comps -> comps in
+  String.concat "." comps
+
+let normalize_path p = normalize_dotted (Path.name p)
+
+(* Corrupt or alien `.cmt` files are skipped, not fatal: the analyzer
+   must stay total over whatever `_build` happens to contain. *)
+let load path =
+  match Cmt_format.read_cmt path with
+  | { cmt_annots = Implementation structure; cmt_modname; cmt_sourcefile; _ } ->
+      let source =
+        match cmt_sourcefile with
+        | Some s -> s
+        | None -> String.uncapitalize_ascii cmt_modname ^ ".ml"
+      in
+      Some { modname = normalize_dotted cmt_modname; source; structure }
+  | _ -> None
+  | exception Cmt_format.Error _
+  | exception Cmi_format.Error _
+  | exception Sys_error _
+  | exception End_of_file
+  | exception Failure _ ->
+      None
+
+(* `.cmt` discovery. Unlike the syntactic scan this must descend into
+   dune's dot-directories (`.bgl_sim.objs`), and when invoked from the
+   source root (where no `.cmt` exists) it falls back to the mirror of
+   each path under `_build/default`. Sorted at every level so unit
+   order — and thus finding order — is machine-independent. *)
+(* Dangling symlinks (and files racing with their deletion) make
+   [Sys.is_directory] raise; a tree walk must shrug them off. *)
+let is_dir path = match Sys.is_directory path with b -> b | exception Sys_error _ -> false
+
+let rec collect_under acc path =
+  Result.bind acc (fun acc ->
+      match Sys.is_directory path with
+      | true ->
+          let entries = Sys.readdir path in
+          Array.sort String.compare entries;
+          Array.fold_left
+            (fun acc entry ->
+              let child = Filename.concat path entry in
+              if is_dir child then
+                if entry = ".git" || entry = "_opam" then acc else collect_under acc child
+              else if Filename.check_suffix entry ".cmt" then Result.map (List.cons child) acc
+              else acc)
+            (Ok acc) entries
+      | false ->
+          if Filename.check_suffix path ".cmt" then Ok (path :: acc)
+          else if Sys.file_exists path then Ok acc
+          else Error (Bgl_resilience.Error.Io { path; detail = "no such file or directory" })
+      | exception Sys_error detail -> Error (Bgl_resilience.Error.Io { path; detail }))
+
+let collect_cmts paths =
+  let one path =
+    let direct = collect_under (Ok []) path in
+    match direct with
+    | Ok [] ->
+        let mirrored = Filename.concat (Filename.concat "_build" "default") path in
+        if Sys.file_exists mirrored then collect_under (Ok []) mirrored else direct
+    | Ok _ | Error _ -> direct
+  in
+  List.fold_left
+    (fun acc path -> Result.bind acc (fun acc -> Result.map (fun l -> acc @ List.rev l) (one path)))
+    (Ok []) paths
+
+(* ------------------------------------------------------------------ *)
+(* In-process typechecking, for the rule fixtures in test/. Tests
+   cannot ship `.cmt` files (they would bit-rot against the compiler
+   version), so they feed source strings through the same front end
+   the compiler uses and hand the resulting Typedtree to the
+   analyzer. *)
+
+let tc_initialized = Atomic.make false
+
+let null_formatter = Format.make_formatter (fun _ _ _ -> ()) (fun () -> ())
+
+let typecheck_source ?(modname = "Fixture") ~path src =
+  if not (Atomic.exchange tc_initialized true) then Compmisc.init_path ();
+  (* Fixtures deliberately contain rule violations; the warnings they
+     also trip are noise. *)
+  let saved = !Location.formatter_for_warnings in
+  Location.formatter_for_warnings := null_formatter;
+  let finish result =
+    Location.formatter_for_warnings := saved;
+    result
+  in
+  Env.set_unit_name modname;
+  let env = Compmisc.initial_env () in
+  let lexbuf = Lexing.from_string src in
+  Location.init lexbuf path;
+  match Parse.implementation lexbuf with
+  | exception exn ->
+      finish
+        (Error
+           (Bgl_resilience.Error.Parse { name = path; detail = "parse: " ^ Printexc.to_string exn }))
+  | parsetree -> (
+      match Typemod.type_structure env parsetree with
+      | structure, _, _, _, _ -> finish (Ok { modname; source = path; structure })
+      | exception exn ->
+          let detail =
+            match Location.error_of_exn exn with
+            | Some (`Ok report) -> Format.asprintf "%a" Location.print_report report
+            | Some `Already_displayed | None -> Printexc.to_string exn
+          in
+          finish (Error (Bgl_resilience.Error.Parse { name = path; detail })))

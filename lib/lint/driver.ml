@@ -63,9 +63,47 @@ let run ?(waivers = []) paths =
       Result.map
         (fun per_file ->
           let all = List.sort Finding.compare (List.concat per_file) in
-          let { Waivers.kept; waived; stale } = Waivers.apply waivers all ~scanned:files in
+          let { Waivers.kept; waived; stale } =
+            (* This pass only produces R1-R6; typed (R7-R10) waiver
+               entries belong to [run_typed] and are out of scope here,
+               neither consumed nor stale. *)
+            Waivers.apply ~scope:(fun r -> not (Finding.typed r)) waivers all ~scanned:files
+          in
           { files_scanned = List.length files; findings = kept; waived; stale })
         (lint_all [] files))
+
+(* The typed pass: load every `.cmt` under the given paths (falling
+   back to their `_build/default` mirrors when invoked from the source
+   root), build the cross-module call graph, and run R7-R10 over it.
+   R7 waiver entries double as taint barriers; the ones the analysis
+   consumed that way are exempt from staleness. *)
+let run_typed ?(waivers = []) ?config paths =
+  Result.bind (Cmt_loader.collect_cmts paths) (fun cmts ->
+      match cmts with
+      | [] ->
+          Error
+            (Bgl_resilience.Error.Io
+               {
+                 path = String.concat " " paths;
+                 detail =
+                   "no .cmt files found — build first (dune build) so the typed pass has \
+                    compiled units to analyze";
+               })
+      | cmts ->
+          let units = List.filter_map Cmt_loader.load cmts in
+          let cfg = match config with Some c -> c | None -> Typed_rules.default in
+          let graph = Callgraph.build ~spawn_sites:cfg.Typed_rules.spawn_sites units in
+          let findings, consumed = Typed_rules.check ~config:cfg ~waivers graph in
+          let scanned =
+            List.sort_uniq String.compare
+              (List.map (fun (u : Cmt_loader.unit_info) -> u.source) units)
+          in
+          let { Waivers.kept; waived; stale } =
+            Waivers.apply ~scope:Finding.typed
+              ~preconsumed:(fun e -> List.memq e consumed)
+              waivers findings ~scanned
+          in
+          Ok { files_scanned = List.length scanned; findings = kept; waived; stale })
 
 let pp_human ppf t =
   List.iter (fun f -> Format.fprintf ppf "%a@." Finding.pp f) t.findings;

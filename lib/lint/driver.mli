@@ -31,6 +31,22 @@ val clean : outcome -> bool
 (** No findings and no stale waivers — the build may pass. *)
 
 val run : ?waivers:Waivers.t -> string list -> (outcome, Bgl_resilience.Error.t) result
+(** The syntactic per-file pass (R1-R6). Typed waiver entries are out
+    of scope: neither applied nor reported stale. *)
+
+val run_typed :
+  ?waivers:Waivers.t ->
+  ?config:Typed_rules.config ->
+  string list ->
+  (outcome, Bgl_resilience.Error.t) result
+(** The typed interprocedural pass (R7-R10) over every [.cmt] under
+    the given paths — or under their [_build/default] mirrors when
+    invoked from the source root. [files_scanned] counts distinct
+    compiled units. Finding no [.cmt] at all is an [Io] error (build
+    first); a corrupt or foreign [.cmt] is silently skipped (the
+    analyzer is total over whatever [_build] contains). R7 waiver
+    entries double as taint barriers and are exempt from staleness
+    when consumed that way. *)
 
 val pp_human : Format.formatter -> outcome -> unit
 (** One ["file:line:col"] line per finding, then stale waivers. *)

@@ -18,19 +18,39 @@
       literal; bit-exactness claims make these silently brittle.
     - R6 [stray-stdout] — direct [print_*] / [prerr_*] /
       [Printf.printf] in [lib/]; output must go through [Bgl_obs]
-      sinks or a [Format.formatter] passed in by the caller. *)
+      sinks or a [Format.formatter] passed in by the caller.
 
-type rule = R1 | R2 | R3 | R4 | R5 | R6
+    The typed pass (DESIGN §16) adds four interprocedural families
+    computed over [.cmt] units and the cross-module call graph:
+
+    - R7 [determinism-taint] — a nondeterministic primitive (wall
+      clock, [Random], environment) is reachable through calls from a
+      deterministic root; reported at the root with the call path.
+    - R8 [cross-domain-escape] — a closure passed to a spawn site
+      captures mutable state with no Atomic/Mutex/DLS discipline,
+      classified by type rather than by name.
+    - R9 [exception-flow] — a catch-all handler guards an expression
+      that can transitively raise a typed control exception
+      ([Budget_exceeded], [Injected], [Divergence]).
+    - R10 [lifecycle-protocol] — a protocol-controlled field
+      ([Job.t]'s [state]) is written outside its blessed transition
+      function. *)
+
+type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9 | R10
 type severity = Error | Warning
 
 val id : rule -> string
-(** ["R1"] .. ["R6"]. *)
+(** ["R1"] .. ["R10"]. *)
 
 val name : rule -> string
 (** Short kebab-case rule name, e.g. ["wall-clock"]. *)
 
 val severity : rule -> severity
 val severity_label : severity -> string
+
+val typed : rule -> bool
+(** [true] for the interprocedural rules (R7-R10) computed from [.cmt]
+    files; [false] for the syntactic per-file rules. *)
 
 val all_rules : rule list
 
@@ -44,13 +64,17 @@ type t = {
   col : int;
   end_col : int;
   message : string;
+  trail : string list;
+      (** interprocedural evidence: the call path justifying the
+          finding, outermost first; [[]] for single-site rules *)
 }
 
-val make : rule -> file:string -> Location.t -> string -> t
+val make : ?trail:string list -> rule -> file:string -> Location.t -> string -> t
 (** Build a finding from a parsetree location; columns are 0-based. *)
 
 val compare : t -> t -> int
-(** Order by file, line, column, rule id — the stable report order. *)
+(** Order by file, line, column, rule id, message — the stable report
+    order. *)
 
 val pp : Format.formatter -> t -> unit
 (** ["file:line:col-col: [R3/error] unsynchronized-global: ..."]. *)

@@ -33,7 +33,7 @@ let of_string ~name src =
             let rule_id = String.sub s 0 sp in
             let rest = String.trim (String.sub s (sp + 1) (String.length s - sp - 1)) in
             match Finding.rule_of_id rule_id with
-            | None -> err line "unknown rule id %S (known: R1..R6)" rule_id
+            | None -> err line "unknown rule id %S (known: R1..R10)" rule_id
             | Some rule -> (
                 match String.index_opt rest ' ' with
                 | None ->
@@ -64,7 +64,14 @@ type applied = {
   stale : entry list;
 }
 
-let apply t findings ~scanned =
+(* [scope] limits which waiver entries a pass even considers: the
+   syntactic driver passes the R1-R6 predicate, the typed driver
+   R7-R10, so each pass neither consumes nor reports-stale the other
+   pass's entries. [preconsumed] marks entries the rules already used
+   internally (an R7 waiver acting as a taint barrier matches no
+   finding, but it is anything but stale). *)
+let apply ?(scope = fun (_ : Finding.rule) -> true)
+    ?(preconsumed = fun (_ : entry) -> false) t findings ~scanned =
   let scanned = List.map normalize scanned in
   let used = Array.make (List.length t) false in
   let kept =
@@ -73,7 +80,7 @@ let apply t findings ~scanned =
         let covered = ref false in
         List.iteri
           (fun i e ->
-            if e.rule = f.rule && matches e ~file:f.file then begin
+            if scope e.rule && e.rule = f.rule && matches e ~file:f.file then begin
               used.(i) <- true;
               covered := true
             end)
@@ -83,7 +90,11 @@ let apply t findings ~scanned =
   in
   let stale =
     List.filteri
-      (fun i e -> (not used.(i)) && List.exists (fun file -> matches e ~file) scanned)
+      (fun i e ->
+        scope e.rule
+        && (not used.(i))
+        && (not (preconsumed e))
+        && List.exists (fun file -> matches e ~file) scanned)
       t
   in
   { kept; waived = List.length findings - List.length kept; stale }

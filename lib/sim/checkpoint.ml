@@ -31,14 +31,16 @@ let checkpoints_for_work ~interval ~work =
 let wall_time ~interval ~overhead ~work =
   work +. (float_of_int (checkpoints_for_work ~interval ~work) *. overhead)
 
-let persisted_at ~interval ~overhead ~work ~elapsed =
-  if elapsed <= 0. then 0.
+let checkpoints_completed ~interval ~overhead ~work ~elapsed =
+  if elapsed <= 0. then 0
   else
     (* Completing checkpoint k costs k * interval of work plus k
        overheads, so k = floor (elapsed / (interval + overhead)). *)
     let k = int_of_float (elapsed /. (interval +. overhead)) in
-    let k = min k (checkpoints_for_work ~interval ~work) in
-    float_of_int k *. interval
+    min k (checkpoints_for_work ~interval ~work)
+
+let persisted_at ~interval ~overhead ~work ~elapsed =
+  float_of_int (checkpoints_completed ~interval ~overhead ~work ~elapsed) *. interval
 
 let young_interval ~mtbf ~overhead =
   if mtbf <= 0. || overhead <= 0. then

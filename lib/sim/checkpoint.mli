@@ -32,10 +32,16 @@ val wall_time : interval:float -> overhead:float -> work:float -> float
 (** Wall-clock duration of a failure-free run doing [work] seconds of
     computation: [work + checkpoints * overhead]. *)
 
+val checkpoints_completed : interval:float -> overhead:float -> work:float -> elapsed:float -> int
+(** Checkpoints that fully completed within the first [elapsed]
+    wall-clock seconds of a run doing [work] seconds of computation —
+    the single credit calculation behind both {!persisted_at} and the
+    engine's per-kill checkpoint accounting. *)
+
 val persisted_at : interval:float -> overhead:float -> work:float -> elapsed:float -> float
 (** Useful work safely persisted when a failure interrupts the run
-    [elapsed] wall-clock seconds after it started: the work covered by
-    the last checkpoint that fully completed before [elapsed]. *)
+    [elapsed] wall-clock seconds after it started:
+    [checkpoints_completed * interval]. *)
 
 val young_interval : mtbf:float -> overhead:float -> float
 (** Young's first-order optimal checkpoint interval,

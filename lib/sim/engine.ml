@@ -74,6 +74,19 @@ module Jobq = Set.Make (struct
   let compare = Stdlib.compare
 end)
 
+(* Jobs currently holding partitions. The old [int list] paid O(n) for
+   the removal on every completion and kill; this set removes in
+   O(log n). Ordered by {e descending} start sequence so iteration
+   reproduces the old list's LIFO order exactly: the stable sorts in
+   [compute_reservation] and [try_migrate] tie-break on iteration
+   order, and the fig-3 golden traces pin it byte for byte. *)
+module Runset = Set.Make (struct
+  type t = int * int  (* start sequence, job index *)
+
+  let compare (sa, ia) (sb, ib) =
+    match Int.compare sb sa with 0 -> Int.compare ib ia | c -> c
+end)
+
 type state = {
   cfg : Config.t;
   policy : Policy.t;
@@ -91,7 +104,9 @@ type state = {
   mutable queue : Jobq.t;  (* FCFS by (arrival, id); holds job indices *)
   mutable queue_len : int;
   mutable queued_demand : int;  (* sum of requested sizes over the queue *)
-  mutable running : int list;
+  mutable running : Runset.t;
+  start_seq : int array;  (* per job index: sequence of its current run *)
+  mutable next_seq : int;
   mutable arrivals_pending : int;
   mutable now : float;
   cache : Bgl_partition.Finder.Cache.t;
@@ -101,6 +116,17 @@ type state = {
          so table updates stay incremental; a missed note only costs a
          full rebuild (the cache self-heals via the grid version). *)
 }
+
+(* Running job indices, most recently started first — the old list's
+   iteration order ([Runset]'s comparator inverts the sequence). *)
+let running_lifo st = List.map snd (Runset.elements st.running)
+
+let running_add st idx =
+  st.start_seq.(idx) <- st.next_seq;
+  st.next_seq <- st.next_seq + 1;
+  st.running <- Runset.add (st.start_seq.(idx), idx) st.running
+
+let running_remove st idx = st.running <- Runset.remove (st.start_seq.(idx), idx) st.running
 
 let record st entry =
   (match st.recorder with Some r -> Recorder.record r entry | None -> ());
@@ -167,17 +193,17 @@ let start_job st idx box =
   Grid.occupy st.grid box ~owner:idx;
   Bgl_partition.Finder.Cache.note_box st.cache box;
   if job.first_start = None then job.first_start <- Some st.now;
-  job.state <-
-    Running
-      {
-        box;
-        started = st.now;
-        finish_time = st.now +. wall;
-        generation = job.generation;
-        work_at_start = job.remaining;
-        interval;
-      };
-  st.running <- idx :: st.running;
+  Job.transition job
+    (Job.Start
+       {
+         box;
+         started = st.now;
+         finish_time = st.now +. wall;
+         generation = job.generation;
+         work_at_start = job.remaining;
+         interval;
+       });
+  running_add st idx;
   record st
     (Recorder.Job_started { job = job.spec.id; time = st.now; box; restart = job.restarts > 0 });
   Bgl_obs.Registry.inc st.obs.jobs_started;
@@ -217,7 +243,7 @@ let compute_reservation st (head : Job.t) =
   let by_end =
     List.sort
       (fun a b -> compare (estimated_run_end st a) (estimated_run_end st b))
-      st.running
+      (running_lifo st)
   in
   let rec release shadow = function
     | [] -> (shadow, None)
@@ -293,7 +319,7 @@ let try_migrate st (head : Job.t) =
     let order =
       List.sort
         (fun a b -> Int.compare st.jobs.(b).volume st.jobs.(a).volume)
-        st.running
+        (running_lifo st)
     in
     let placements =
       List.fold_left
@@ -341,7 +367,8 @@ let try_migrate st (head : Job.t) =
                    { job = job.spec.id; time = st.now; from_box = r.box; to_box = new_box });
               job.generation <- job.generation + 1;
               let finish_time = r.finish_time +. st.cfg.migration_overhead in
-              job.state <- Running { r with box = new_box; finish_time; generation = job.generation };
+              Job.transition job
+                (Job.Migrate { r with box = new_box; finish_time; generation = job.generation });
               Event_queue.push st.events ~time:finish_time (Finish (idx, job.generation));
               Bgl_obs.Registry.inc st.obs.jobs_migrated;
               Metrics.record_migration st.metrics)
@@ -380,7 +407,7 @@ let complete_run st idx =
   | Some r ->
       Grid.vacate st.grid r.box ~owner:idx;
       Bgl_partition.Finder.Cache.note_box st.cache r.box;
-      st.running <- List.filter (fun i -> i <> idx) st.running;
+      running_remove st idx;
       (match r.interval with
       | None -> ()
       | Some iv ->
@@ -390,7 +417,7 @@ let complete_run st idx =
             Metrics.record_checkpoint st.metrics
           done);
       job.remaining <- 0.;
-      job.state <- Completed;
+      Job.transition job Job.Complete;
       job.completion <- Some st.now;
       record st (Recorder.Job_finished { job = job.spec.id; time = st.now });
       Bgl_obs.Registry.inc st.obs.jobs_finished;
@@ -403,24 +430,27 @@ let kill_job st idx ~node =
   | None -> ()
   | Some r ->
       let elapsed = st.now -. r.started in
-      let persisted =
+      (* One credit calculation feeds both the persisted-work figure
+         and the checkpoint count, so they cannot drift apart. *)
+      let credits, persisted =
         match (r.interval, st.cfg.checkpoint) with
         | Some iv, Some spec ->
-            Checkpoint.persisted_at ~interval:iv ~overhead:(Checkpoint.overhead spec)
-              ~work:r.work_at_start ~elapsed
-        | None, _ | _, None -> 0.
+            let k =
+              Checkpoint.checkpoints_completed ~interval:iv ~overhead:(Checkpoint.overhead spec)
+                ~work:r.work_at_start ~elapsed
+            in
+            (k, float_of_int k *. iv)
+        | None, _ | _, None -> (0, 0.)
       in
-      (match r.interval with
-      | Some iv when persisted > 0. ->
-          let n = int_of_float (persisted /. iv) in
-          job.checkpoints_taken <- job.checkpoints_taken + n;
-          for _ = 1 to n do
-            Metrics.record_checkpoint st.metrics
-          done
-      | Some _ | None -> ());
+      if credits > 0 then begin
+        job.checkpoints_taken <- job.checkpoints_taken + credits;
+        for _ = 1 to credits do
+          Metrics.record_checkpoint st.metrics
+        done
+      end;
       Grid.vacate st.grid r.box ~owner:idx;
       Bgl_partition.Finder.Cache.note_box st.cache r.box;
-      st.running <- List.filter (fun i -> i <> idx) st.running;
+      running_remove st idx;
       let lost = float_of_int job.volume *. (elapsed -. persisted) in
       job.lost_node_seconds <- job.lost_node_seconds +. lost;
       record st
@@ -430,7 +460,7 @@ let kill_job st idx ~node =
       job.remaining <- r.work_at_start -. persisted;
       job.generation <- job.generation + 1;
       job.restarts <- job.restarts + 1;
-      job.state <- Queued;
+      Job.transition job Job.Kill;
       queue_insert st idx
 
 let handle st = function
@@ -540,7 +570,9 @@ let run ?(config = Config.default) ?(predictor = Bgl_predict.Predictor.null) ?re
       queue = Jobq.empty;
       queue_len = 0;
       queued_demand = 0;
-      running = [];
+      running = Runset.empty;
+      start_seq = Array.make (Array.length jobs) 0;
+      next_seq = 0;
       arrivals_pending = Array.length jobs;
       now = 0.;
       cache = Bgl_partition.Finder.Cache.create grid;
@@ -570,7 +602,7 @@ let run ?(config = Config.default) ?(predictor = Bgl_predict.Predictor.null) ?re
     failures.events;
   let first_arrival = if Array.length jobs = 0 then 0. else jobs.(0).spec.arrival in
   let rec loop () =
-    if st.arrivals_pending = 0 && Jobq.is_empty st.queue && st.running = [] then ()
+    if st.arrivals_pending = 0 && Jobq.is_empty st.queue && Runset.is_empty st.running then ()
     else
       match Event_queue.pop st.events with
       | None -> () (* unschedulable leftovers; reported as incomplete *)
@@ -606,7 +638,7 @@ let run ?(config = Config.default) ?(predictor = Bgl_predict.Predictor.null) ?re
                   {
                     Bgl_obs.Heartbeat.sim_time = st.now;
                     queue_depth = st.queue_len;
-                    running = List.length st.running;
+                    running = Runset.cardinal st.running;
                     free_nodes = Grid.free_count st.grid;
                   }));
           loop ()

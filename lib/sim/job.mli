@@ -34,6 +34,24 @@ type t = {
 
 val create : Bgl_trace.Job_log.job -> volume:int -> t
 
+type edge = Start of run | Migrate of run | Complete | Kill
+(** A lifecycle edge. [Start] and [Migrate] carry the new run;
+    [Complete] and [Kill] close the current one. *)
+
+exception Illegal_transition of { job : int; edge : string; state : string }
+
+val legal : state -> edge -> bool
+(** The legality table: [Queued --Start--> Running],
+    [Running --Migrate--> Running], [Running --Complete--> Completed],
+    [Running --Kill--> Queued]. Everything else is illegal. *)
+
+val transition : t -> edge -> unit
+(** The {e only} sanctioned write to {!field-state} — the typed lint
+    rule R10 fails the build on any other [state <-] site. Applies the
+    edge if {!legal}, emits a [bgl_job_transitions_total{edge=...}]
+    obs counter increment, and raises {!Illegal_transition} otherwise,
+    leaving the job untouched. *)
+
 val is_queued : t -> bool
 val is_running : t -> bool
 val is_completed : t -> bool

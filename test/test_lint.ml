@@ -165,7 +165,9 @@ let test_waiver_syntax () =
   check_bool "reason required" true
     (Result.is_error (Waivers.of_string ~name:"w" "R1 lib/x.ml"));
   check_bool "rule id validated" true
-    (Result.is_error (Waivers.of_string ~name:"w" "R9 lib/x.ml some reason"));
+    (Result.is_error (Waivers.of_string ~name:"w" "R11 lib/x.ml some reason"));
+  check_bool "typed rule ids accepted" true
+    (Result.is_ok (Waivers.of_string ~name:"w" "R9 lib/x.ml some reason"));
   check_bool "comments and blanks ok" true
     (Result.is_ok (Waivers.of_string ~name:"w" "# only a comment\n\n"));
   let w = parse_waivers "R1 lib/obs/span.ml the default clock\n" in
@@ -208,6 +210,155 @@ let test_driver_errors () =
   | Error e -> Alcotest.failf "expected Parse, got %s" (Bgl_resilience.Error.to_string e)
   | Ok _ -> Alcotest.fail "expected a parse error");
   match Driver.run [ "/nonexistent-bgl-lint-path" ] with
+  | Error (Bgl_resilience.Error.Io _) -> ()
+  | Error e -> Alcotest.failf "expected Io, got %s" (Bgl_resilience.Error.to_string e)
+  | Ok _ -> Alcotest.fail "expected an io error"
+
+(* ------------------------------------------------------------------ *)
+(* Typed rules R7-R10. Fixtures are typechecked in-process by the same
+   front end that produced the real `.cmt` files, then pushed through
+   the callgraph + rule pipeline with a fixture-local config whose
+   deterministic root is [Fixture.root] and whose lifecycle protocol
+   covers the fixture's own [job] type. Only Stdlib modules appear in
+   fixtures: the in-process typechecker sees the compiler's default
+   load path, not the project's libraries. *)
+
+let fixture_config =
+  {
+    Typed_rules.default with
+    roots = [ "Fixture.root" ];
+    protocols = [ ("job", "state", "transition") ];
+  }
+
+let typed_check ?(waivers = []) src =
+  let unit_info =
+    match Cmt_loader.typecheck_source ~path:"lib/fixture/fixture.ml" src with
+    | Ok u -> u
+    | Error e -> Alcotest.failf "typecheck failed: %s" (Bgl_resilience.Error.to_string e)
+  in
+  let graph = Callgraph.build ~spawn_sites:fixture_config.spawn_sites [ unit_info ] in
+  Typed_rules.check ~config:fixture_config ~waivers graph
+
+let typed_ids ?waivers src =
+  List.map (fun (f : Finding.t) -> Finding.id f.rule) (fst (typed_check ?waivers src))
+
+let check_typed_fires rule src = check_bool (rule ^ " fires") true (List.mem rule (typed_ids src))
+
+let check_typed_silent rule src =
+  check_bool (rule ^ " silent") false (List.mem rule (typed_ids src))
+
+let test_r7 () =
+  (* A sink reached through a call chain is reported at the root. *)
+  check_typed_fires "R7" "let helper () = Sys.time ()\nlet root () = helper ()";
+  check_typed_fires "R7" "let deep () = Random.int 6\nlet mid () = deep ()\nlet root () = mid ()";
+  check_typed_fires "R7" "let root () = Sys.getenv \"HOME\"";
+  (* The fixed form threads the clock in as data. *)
+  check_typed_silent "R7" "let helper clock = clock ()\nlet root clock = helper clock";
+  (* A sink in a function the root never calls is not the root's problem. *)
+  check_typed_silent "R7" "let stray () = Sys.time ()\nlet root () = 1 + 1";
+  (* The finding lands on the root and carries the full call path. *)
+  match fst (typed_check "let helper () = Sys.time ()\nlet root () = helper ()") with
+  | [ f ] ->
+      check_int "reported at root line" 2 f.line;
+      Alcotest.(check (list string))
+        "call trail" [ "Fixture.root"; "Fixture.helper"; "Sys.time" ] f.trail
+  | fs -> Alcotest.failf "expected exactly one R7 finding, got %d" (List.length fs)
+
+let test_r7_barrier () =
+  (* An R7 waiver on a file in the path is a taint barrier: the finding
+     disappears and the entry is reported as consumed, not stale. *)
+  let waivers = parse_waivers "R7 lib/fixture/fixture.ml fixture-declared barrier\n" in
+  let findings, consumed =
+    typed_check ~waivers "let helper () = Sys.time ()\nlet root () = helper ()"
+  in
+  check_int "barrier suppresses" 0 (List.length findings);
+  check_int "barrier consumed" 1 (List.length consumed);
+  (* ...but the root's own file is never a barrier for direct sinks. *)
+  let findings, consumed = typed_check ~waivers "let root () = Sys.time ()" in
+  check_int "direct sink still fires" 1 (List.length findings);
+  check_int "nothing consumed" 0 (List.length consumed)
+
+let test_r8 () =
+  check_typed_fires "R8"
+    "let run () =\n\
+    \  let counter = ref 0 in\n\
+    \  let d = Domain.spawn (fun () -> incr counter) in\n\
+    \  Domain.join d";
+  check_typed_fires "R8" "let run tbl = Domain.spawn (fun () -> Hashtbl.add tbl 1 1)";
+  check_typed_fires "R8"
+    "type cell = { mutable n : int }\nlet run (c : cell) = Domain.spawn (fun () -> c.n <- 1)";
+  (* Sanctioned discipline: Atomic, a record carrying its own Mutex,
+     and the pool's disjoint-index array idiom. *)
+  check_typed_silent "R8"
+    "let run () =\n\
+    \  let counter = Atomic.make 0 in\n\
+    \  let d = Domain.spawn (fun () -> Atomic.incr counter) in\n\
+    \  Domain.join d";
+  check_typed_silent "R8"
+    "type guarded = { lock : Mutex.t; mutable n : int }\n\
+     let run (g : guarded) = Domain.spawn (fun () -> g.n <- 1)";
+  check_typed_silent "R8" "let run (a : int array) = Domain.spawn (fun () -> a.(0) <- 1)";
+  (* Capturing immutable data is the point of closures. *)
+  check_typed_silent "R8" "let run xs = Domain.spawn (fun () -> List.length xs)"
+
+let test_r9 () =
+  (* The raisable set is interprocedural: the raise is two calls away. *)
+  check_typed_fires "R9"
+    "exception Budget_exceeded\n\
+     let deep () = raise Budget_exceeded\n\
+     let mid () = deep () + 1\n\
+     let run () = try mid () with _ -> 0";
+  (* [exception _] match arms are the same hazard. *)
+  check_typed_fires "R9"
+    "exception Injected\n\
+     let deep () = raise Injected\n\
+     let run () = match deep () with n -> n | exception _ -> 0";
+  (* Re-raising catch-alls and specific handlers pass. *)
+  check_typed_silent "R9"
+    "exception Budget_exceeded\n\
+     let deep () = raise Budget_exceeded\n\
+     let run () = try deep () with e -> raise e";
+  check_typed_silent "R9"
+    "exception Budget_exceeded\n\
+     let deep () = raise Budget_exceeded\n\
+     let run () = try deep () with Budget_exceeded -> 0";
+  (* Unlike syntactic R4, a catch-all over unprotected exceptions is
+     not this rule's business. *)
+  check_typed_silent "R9" "let harmless () = raise Not_found\nlet run () = try harmless () with _ -> 0"
+
+let test_r10 () =
+  (* Any [state <-] outside the blessed transition function fires. *)
+  (match
+     fst
+       (typed_check
+          "type job = { mutable state : int }\n\
+           let transition j = j.state <- 1\n\
+           let sneaky j = j.state <- 2")
+   with
+  | [ f ] ->
+      Alcotest.(check string) "rule" "R10" (Finding.id f.rule);
+      Alcotest.(check (list string)) "culprit def" [ "Fixture.sneaky" ] f.trail
+  | fs -> Alcotest.failf "expected exactly one R10 finding, got %d" (List.length fs));
+  (* The blessed writer alone is clean. *)
+  check_typed_silent "R10"
+    "type job = { mutable state : int }\nlet transition j = j.state <- 1";
+  (* Type-keyed: an unrelated record with a [state] field is free. *)
+  check_typed_silent "R10"
+    "type rngst = { mutable state : int }\nlet bump (r : rngst) = r.state <- r.state + 1"
+
+let test_modname_normalization () =
+  let check_norm input expect =
+    Alcotest.(check string) input expect (Cmt_loader.normalize_dotted input)
+  in
+  check_norm "Bgl_sim__Engine" "Bgl_sim.Engine";
+  check_norm "Bgl_sim__.Job.t" "Bgl_sim.Job.t";
+  check_norm "Stdlib.Random.int" "Random.int";
+  check_norm "Stdlib" "Stdlib";
+  (* Lowercase components are value names; their underscores stay. *)
+  check_norm "M.foo__bar" "M.foo__bar"
+
+let test_run_typed_errors () =
+  match Driver.run_typed [ "/nonexistent-bgl-typed-path" ] with
   | Error (Bgl_resilience.Error.Io _) -> ()
   | Error e -> Alcotest.failf "expected Io, got %s" (Bgl_resilience.Error.to_string e)
   | Ok _ -> Alcotest.fail "expected an io error"
@@ -304,10 +455,50 @@ let prop_waivers_total =
       | exception e ->
           QCheck.Test.fail_reportf "Waivers.of_string raised %s on %S" (Printexc.to_string e) s)
 
+(* The typed analyzer must be total over whatever `_build` contains.
+   dune runs tests from `_build/default/test`, so the tree's real
+   `.cmt` units are one directory up — but only walk `..` when it
+   really is a dune build root, so running the binary from elsewhere
+   doesn't crawl half the filesystem. Arbitrary subsets exercise the
+   unresolved-edge paths a full build never hits. Loaded once. *)
+let built_units =
+  lazy
+    (let root =
+       if Sys.file_exists "_build/default" then Some "_build/default"
+       else if Sys.file_exists "../lib/lint/.bgl_lint.objs" then Some ".."
+       else None
+     in
+     match root with
+     | None -> []
+     | Some root -> (
+         match Cmt_loader.collect_cmts [ root ] with
+         | Ok cmts -> List.filter_map Cmt_loader.load cmts
+         | Error _ -> []))
+
+let prop_typed_total =
+  QCheck.Test.make ~count:25 ~name:"typed analyzer total on built unit subsets"
+    QCheck.(make ~print:string_of_int Gen.int)
+    (fun seed ->
+      match Lazy.force built_units with
+      | [] -> true (* no build tree in sight; vacuous *)
+      | units -> (
+          let units = List.filteri (fun i _ -> Hashtbl.hash (seed, i) land 3 <> 0) units in
+          let graph =
+            Callgraph.build ~spawn_sites:Typed_rules.default.spawn_sites units
+          in
+          match Typed_rules.check ~waivers:[] graph with
+          | findings, _ ->
+              List.for_all
+                (fun (f : Finding.t) -> Bgl_obs.Jsonl.valid (Finding.to_json f))
+                findings
+          | exception e ->
+              QCheck.Test.fail_reportf "typed analyzer raised %s on a %d-unit subset"
+                (Printexc.to_string e) (List.length units)))
+
 let qcheck_tests =
   List.map
     (QCheck_alcotest.to_alcotest ~verbose:false)
-    [ prop_never_raises; prop_waivers_total ]
+    [ prop_never_raises; prop_waivers_total; prop_typed_total ]
 
 (* ------------------------------------------------------------------ *)
 
@@ -323,6 +514,16 @@ let () =
           Alcotest.test_case "R5 float-literal-equality" `Quick test_r5;
           Alcotest.test_case "R6 stray-stdout" `Quick test_r6;
           Alcotest.test_case "finding spans" `Quick test_spans;
+        ] );
+      ( "typed rules",
+        [
+          Alcotest.test_case "R7 determinism taint" `Quick test_r7;
+          Alcotest.test_case "R7 waiver barrier" `Quick test_r7_barrier;
+          Alcotest.test_case "R8 cross-domain escape" `Quick test_r8;
+          Alcotest.test_case "R9 exception flow" `Quick test_r9;
+          Alcotest.test_case "R10 lifecycle protocol" `Quick test_r10;
+          Alcotest.test_case "module-name normalization" `Quick test_modname_normalization;
+          Alcotest.test_case "run_typed error mapping" `Quick test_run_typed_errors;
         ] );
       ( "waivers",
         [

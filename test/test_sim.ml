@@ -147,6 +147,82 @@ let test_checkpoint_validate () =
 let mk_job ~id ~arrival ~size ~run_time =
   { Bgl_trace.Job_log.id; arrival; size; run_time; estimate = run_time }
 
+(* ------------------------------------------------------------------ *)
+(* Job lifecycle protocol: the full 3x4 (state, edge) matrix. The four
+   legal cells apply and land in the right state; the eight illegal
+   ones raise Illegal_transition and leave the job untouched. *)
+
+let mk_run () =
+  {
+    Job.box = Box.make (Coord.make 0 0 0) (Shape.make 2 2 2);
+    started = 0.;
+    finish_time = 10.;
+    generation = 0;
+    work_at_start = 10.;
+    interval = None;
+  }
+
+let job_in state =
+  let j = Job.create (mk_job ~id:7 ~arrival:0. ~size:8 ~run_time:10.) ~volume:8 in
+  (match state with
+  | `Queued -> ()
+  | `Running -> Job.transition j (Job.Start (mk_run ()))
+  | `Completed ->
+      Job.transition j (Job.Start (mk_run ()));
+      Job.transition j Job.Complete);
+  j
+
+let state_name = function `Queued -> "queued" | `Running -> "running" | `Completed -> "completed"
+
+let test_transition_matrix () =
+  let edges () =
+    [
+      ("start", Job.Start (mk_run ()));
+      ("migrate", Job.Migrate (mk_run ()));
+      ("complete", Job.Complete);
+      ("kill", Job.Kill);
+    ]
+  in
+  let legal_cells =
+    [ (`Queued, "start"); (`Running, "migrate"); (`Running, "complete"); (`Running, "kill") ]
+  in
+  List.iter
+    (fun state ->
+      List.iter
+        (fun (edge_name, edge) ->
+          let cell = Printf.sprintf "%s --%s-->" (state_name state) edge_name in
+          let expect = List.mem (state, edge_name) legal_cells in
+          let j = job_in state in
+          check_bool (cell ^ " table") expect (Job.legal j.state edge);
+          match Job.transition j edge with
+          | () -> check_bool (cell ^ " applied") true expect
+          | exception Job.Illegal_transition { job; _ } ->
+              check_bool (cell ^ " rejected") false expect;
+              check_int (cell ^ " names the job") 7 job;
+              check_bool (cell ^ " state untouched") true (j.state = (job_in state).state))
+        (edges ()))
+    [ `Queued; `Running; `Completed ]
+
+let test_transition_targets () =
+  (* Each legal edge lands in the documented state, and a killed job
+     can be restarted: the queued -> running -> queued -> running cycle
+     is the engine's failure-restart path. *)
+  let j = job_in `Queued in
+  Job.transition j (Job.Start (mk_run ()));
+  check_bool "start -> running" true (Job.is_running j);
+  Job.transition j (Job.Migrate (mk_run ()));
+  check_bool "migrate -> running" true (Job.is_running j);
+  Job.transition j Job.Kill;
+  check_bool "kill -> queued" true (Job.is_queued j);
+  Job.transition j (Job.Start (mk_run ()));
+  check_bool "restart after kill" true (Job.is_running j);
+  Job.transition j Job.Complete;
+  check_bool "complete -> completed" true (Job.is_completed j);
+  check_bool "completed is terminal" false
+    (List.exists
+       (fun e -> Job.legal j.state e)
+       [ Job.Start (mk_run ()); Job.Migrate (mk_run ()); Job.Complete; Job.Kill ])
+
 let mk_log jobs = Bgl_trace.Job_log.make ~name:"test" jobs
 let no_failures = Bgl_trace.Failure_log.make ~name:"none" []
 
@@ -728,6 +804,11 @@ let () =
           tc "young interval" test_young_interval;
           tc "mtbf of failures" test_mtbf_of_failures;
           tc "validate" test_checkpoint_validate;
+        ] );
+      ( "lifecycle",
+        [
+          tc "transition matrix" test_transition_matrix;
+          tc "transition targets" test_transition_targets;
         ] );
       ( "engine",
         [
